@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"smtfetch/internal/bench"
+	"smtfetch/internal/bpred"
+	"smtfetch/internal/isa"
+	"smtfetch/internal/prog"
+)
+
+func main() {
+	p := prog.Build(bench.MustProfile("gzip"), 12345)
+	s := p.NewStream(999)
+	g := bpred.NewGShare(64*1024, 16)
+	var ghr uint64
+	type cnt struct{ n, hit uint64 }
+	byClass := map[string]*cnt{}
+	kinds := map[string]uint64{}
+	blockVisits := map[isa.Addr]uint64{}
+	var branches, taken uint64
+	for i := 0; i < 2_000_000; i++ {
+		in := *s.Peek(0)
+		s.Advance(1)
+		if !in.IsBranch() {
+			continue
+		}
+		branches++
+		if in.Taken {
+			taken++
+		}
+		kinds[in.BrKind.String()]++
+		blockVisits[in.PC]++
+		if in.BrKind != isa.CondBranch {
+			continue
+		}
+		cl := p.BranchClassAt(in.PC)
+		c := byClass[cl]
+		if c == nil {
+			c = &cnt{}
+			byClass[cl] = c
+		}
+		c.n++
+		pred := g.Predict(in.PC, ghr)
+		if pred == in.Taken {
+			c.hit++
+		}
+		g.Update(in.PC, ghr, in.Taken)
+		ghr = ghr<<1 | b2u(in.Taken)
+	}
+	fmt.Printf("dyn avg BB=%.2f taken=%.3f branches=%d staticTouched=%d\n",
+		float64(s.Generated)/float64(branches), float64(taken)/float64(branches), branches, len(blockVisits))
+	// top blocks
+	type bv struct {
+		pc isa.Addr
+		n  uint64
+	}
+	var tops []bv
+	for pc, n := range blockVisits {
+		tops = append(tops, bv{pc, n})
+	}
+	sort.Slice(tops, func(a, b int) bool { return tops[a].n > tops[b].n })
+	for i := 0; i < 5 && i < len(tops); i++ {
+		fmt.Printf("  hot branch %#x n=%d kind=%s class=%s\n", tops[i].pc, tops[i].n, "", p.BranchClassAt(tops[i].pc))
+	}
+	var keys []string
+	for k := range kinds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  kind %-6s %d\n", k, kinds[k])
+	}
+	keys = keys[:0]
+	var tot, hits uint64
+	for k := range byClass {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := byClass[k]
+		tot += c.n
+		hits += c.hit
+		fmt.Printf("%-8s n=%-8d acc=%.4f\n", k, c.n, float64(c.hit)/float64(c.n))
+	}
+	fmt.Printf("TOTAL    n=%-8d acc=%.4f\n", tot, float64(hits)/float64(tot))
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

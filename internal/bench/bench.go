@@ -1,0 +1,297 @@
+// Package bench provides the synthetic models of the twelve SPECint2000
+// benchmarks used in the paper (Table 1) and the multithreaded workloads
+// built from them (Table 2).
+//
+// Each profile is calibrated so that its dynamic average basic-block size
+// matches Table 1 and its qualitative character matches the paper's ILP/MEM
+// classification: ILP benchmarks have cache-resident working sets and long
+// dependence distances; MEM benchmarks have working sets that bust the 1MB
+// L2 and short, often pointer-chasing dependence chains.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"smtfetch/internal/prog"
+)
+
+// Class labels a workload or benchmark following Table 2.
+type Class uint8
+
+const (
+	// ILP marks benchmarks with high instruction-level parallelism and
+	// good cache behaviour.
+	ILP Class = iota
+	// MEM marks memory-bound benchmarks.
+	MEM
+)
+
+// String returns "ILP" or "MEM".
+func (c Class) String() string {
+	if c == MEM {
+		return "MEM"
+	}
+	return "ILP"
+}
+
+// profiles maps benchmark name to its synthetic model parameters.
+//
+// AvgBBSize values come directly from Table 1. StaticBlocks approximates
+// relative code footprints (gcc/perlbmk/vortex large; gzip/bzip2/mcf small).
+// Memory parameters encode the MEM classification: mcf's 40MB pointer-heavy
+// working set, twolf/vpr's L2-busting footprints, and the ILP benchmarks'
+// cache-resident sets.
+var profiles = map[string]prog.Profile{
+	"gzip": {
+		Name: "gzip", AvgBBSize: 11.02, StaticBlocks: 900,
+		HotFraction: 0.20, HotWeight: 0.70, LocalityWindow: 24,
+		JumpFrac: 0.07, CallFrac: 0.10, IndirectFrac: 0.01,
+		LoopFrac: 0.34, CorrFrac: 0.22, RarelyTakenFrac: 0.30, HardFrac: 0.07, MeanTripCount: 12,
+		BiasMean: 0.32, Noise: 0.035,
+		LoadFrac: 0.21, StoreFrac: 0.09, MulFrac: 0.01, FPFrac: 0.005,
+		MeanDepDist: 7.5,
+		HotBytes:    24 * 1024, ColdBytes: 160 * 1024, ColdFrac: 0.10,
+		ChaseFrac: 0.05, StrideFrac: 0.55,
+	},
+	"vpr": {
+		Name: "vpr", AvgBBSize: 9.68, StaticBlocks: 2200,
+		HotFraction: 0.18, HotWeight: 0.62, LocalityWindow: 28,
+		JumpFrac: 0.07, CallFrac: 0.12, IndirectFrac: 0.01,
+		LoopFrac: 0.30, CorrFrac: 0.22, RarelyTakenFrac: 0.26, HardFrac: 0.12, MeanTripCount: 9,
+		BiasMean: 0.34, Noise: 0.06,
+		LoadFrac: 0.27, StoreFrac: 0.10, MulFrac: 0.02, FPFrac: 0.04,
+		MeanDepDist: 3.6,
+		HotBytes:    28 * 1024, ColdBytes: 4 * 1024 * 1024, ColdFrac: 0.38,
+		ChaseFrac: 0.30, StrideFrac: 0.25,
+		MemoryBound: true,
+	},
+	"gcc": {
+		Name: "gcc", AvgBBSize: 5.76, StaticBlocks: 14000,
+		HotFraction: 0.12, HotWeight: 0.45, LocalityWindow: 60,
+		JumpFrac: 0.09, CallFrac: 0.14, IndirectFrac: 0.03,
+		LoopFrac: 0.22, CorrFrac: 0.26, RarelyTakenFrac: 0.32, HardFrac: 0.12, MeanTripCount: 6,
+		BiasMean: 0.36, Noise: 0.075,
+		LoadFrac: 0.25, StoreFrac: 0.12, MulFrac: 0.01, FPFrac: 0.005,
+		MeanDepDist: 5.0,
+		HotBytes:    32 * 1024, ColdBytes: 512 * 1024, ColdFrac: 0.14,
+		ChaseFrac: 0.12, StrideFrac: 0.35,
+	},
+	"mcf": {
+		Name: "mcf", AvgBBSize: 3.92, StaticBlocks: 700,
+		HotFraction: 0.22, HotWeight: 0.72, LocalityWindow: 16,
+		JumpFrac: 0.06, CallFrac: 0.10, IndirectFrac: 0.005,
+		LoopFrac: 0.30, CorrFrac: 0.20, RarelyTakenFrac: 0.22, HardFrac: 0.10, MeanTripCount: 10,
+		BiasMean: 0.36, Noise: 0.055,
+		LoadFrac: 0.32, StoreFrac: 0.09, MulFrac: 0.01, FPFrac: 0.002,
+		MeanDepDist: 2.4,
+		HotBytes:    20 * 1024, ColdBytes: 40 * 1024 * 1024, ColdFrac: 0.55,
+		ChaseFrac: 0.60, StrideFrac: 0.10,
+		MemoryBound: true,
+	},
+	"crafty": {
+		Name: "crafty", AvgBBSize: 9.24, StaticBlocks: 3400,
+		HotFraction: 0.18, HotWeight: 0.60, LocalityWindow: 32,
+		JumpFrac: 0.07, CallFrac: 0.12, IndirectFrac: 0.015,
+		LoopFrac: 0.26, CorrFrac: 0.26, RarelyTakenFrac: 0.28, HardFrac: 0.09, MeanTripCount: 7,
+		BiasMean: 0.34, Noise: 0.055,
+		LoadFrac: 0.23, StoreFrac: 0.08, MulFrac: 0.02, FPFrac: 0.003,
+		MeanDepDist: 6.5,
+		HotBytes:    30 * 1024, ColdBytes: 640 * 1024, ColdFrac: 0.12,
+		ChaseFrac: 0.08, StrideFrac: 0.40,
+	},
+	"parser": {
+		Name: "parser", AvgBBSize: 6.37, StaticBlocks: 2600,
+		HotFraction: 0.16, HotWeight: 0.55, LocalityWindow: 36,
+		JumpFrac: 0.08, CallFrac: 0.14, IndirectFrac: 0.012,
+		LoopFrac: 0.24, CorrFrac: 0.24, RarelyTakenFrac: 0.30, HardFrac: 0.11, MeanTripCount: 6,
+		BiasMean: 0.36, Noise: 0.065,
+		LoadFrac: 0.25, StoreFrac: 0.10, MulFrac: 0.01, FPFrac: 0.003,
+		MeanDepDist: 4.2,
+		HotBytes:    28 * 1024, ColdBytes: 900 * 1024, ColdFrac: 0.16,
+		ChaseFrac: 0.25, StrideFrac: 0.30,
+	},
+	"eon": {
+		Name: "eon", AvgBBSize: 8.73, StaticBlocks: 4200,
+		HotFraction: 0.16, HotWeight: 0.58, LocalityWindow: 30,
+		JumpFrac: 0.06, CallFrac: 0.18, IndirectFrac: 0.025,
+		LoopFrac: 0.28, CorrFrac: 0.24, RarelyTakenFrac: 0.26, HardFrac: 0.06, MeanTripCount: 8,
+		BiasMean: 0.33, Noise: 0.04,
+		LoadFrac: 0.24, StoreFrac: 0.12, MulFrac: 0.02, FPFrac: 0.08,
+		MeanDepDist: 6.8,
+		HotBytes:    26 * 1024, ColdBytes: 200 * 1024, ColdFrac: 0.08,
+		ChaseFrac: 0.05, StrideFrac: 0.45,
+	},
+	"perlbmk": {
+		Name: "perlbmk", AvgBBSize: 10.06, StaticBlocks: 9000,
+		HotFraction: 0.14, HotWeight: 0.52, LocalityWindow: 48,
+		JumpFrac: 0.08, CallFrac: 0.16, IndirectFrac: 0.035,
+		LoopFrac: 0.24, CorrFrac: 0.24, RarelyTakenFrac: 0.28, HardFrac: 0.09, MeanTripCount: 7,
+		BiasMean: 0.35, Noise: 0.05,
+		LoadFrac: 0.26, StoreFrac: 0.12, MulFrac: 0.01, FPFrac: 0.004,
+		MeanDepDist: 4.0,
+		HotBytes:    30 * 1024, ColdBytes: 6 * 1024 * 1024, ColdFrac: 0.30,
+		ChaseFrac: 0.35, StrideFrac: 0.25,
+		MemoryBound: true,
+	},
+	"gap": {
+		Name: "gap", AvgBBSize: 9.16, StaticBlocks: 5200,
+		HotFraction: 0.16, HotWeight: 0.56, LocalityWindow: 34,
+		JumpFrac: 0.07, CallFrac: 0.14, IndirectFrac: 0.02,
+		LoopFrac: 0.28, CorrFrac: 0.22, RarelyTakenFrac: 0.28, HardFrac: 0.08, MeanTripCount: 9,
+		BiasMean: 0.34, Noise: 0.045,
+		LoadFrac: 0.24, StoreFrac: 0.10, MulFrac: 0.02, FPFrac: 0.01,
+		MeanDepDist: 5.8,
+		HotBytes:    28 * 1024, ColdBytes: 400 * 1024, ColdFrac: 0.10,
+		ChaseFrac: 0.10, StrideFrac: 0.40,
+	},
+	"vortex": {
+		Name: "vortex", AvgBBSize: 6.50, StaticBlocks: 10000,
+		HotFraction: 0.13, HotWeight: 0.50, LocalityWindow: 52,
+		JumpFrac: 0.08, CallFrac: 0.16, IndirectFrac: 0.015,
+		LoopFrac: 0.22, CorrFrac: 0.24, RarelyTakenFrac: 0.32, HardFrac: 0.07, MeanTripCount: 6,
+		BiasMean: 0.35, Noise: 0.045,
+		LoadFrac: 0.26, StoreFrac: 0.13, MulFrac: 0.01, FPFrac: 0.003,
+		MeanDepDist: 5.5,
+		HotBytes:    30 * 1024, ColdBytes: 700 * 1024, ColdFrac: 0.12,
+		ChaseFrac: 0.15, StrideFrac: 0.35,
+	},
+	"bzip2": {
+		Name: "bzip2", AvgBBSize: 10.02, StaticBlocks: 1000,
+		HotFraction: 0.20, HotWeight: 0.68, LocalityWindow: 24,
+		JumpFrac: 0.06, CallFrac: 0.10, IndirectFrac: 0.008,
+		LoopFrac: 0.34, CorrFrac: 0.22, RarelyTakenFrac: 0.28, HardFrac: 0.07, MeanTripCount: 11,
+		BiasMean: 0.33, Noise: 0.04,
+		LoadFrac: 0.23, StoreFrac: 0.10, MulFrac: 0.01, FPFrac: 0.003,
+		MeanDepDist: 7.0,
+		HotBytes:    26 * 1024, ColdBytes: 256 * 1024, ColdFrac: 0.12,
+		ChaseFrac: 0.05, StrideFrac: 0.55,
+	},
+	"twolf": {
+		Name: "twolf", AvgBBSize: 8.00, StaticBlocks: 2400,
+		HotFraction: 0.18, HotWeight: 0.60, LocalityWindow: 28,
+		JumpFrac: 0.07, CallFrac: 0.12, IndirectFrac: 0.01,
+		LoopFrac: 0.28, CorrFrac: 0.22, RarelyTakenFrac: 0.26, HardFrac: 0.13, MeanTripCount: 8,
+		BiasMean: 0.35, Noise: 0.065,
+		LoadFrac: 0.28, StoreFrac: 0.10, MulFrac: 0.02, FPFrac: 0.02,
+		MeanDepDist: 3.2,
+		HotBytes:    26 * 1024, ColdBytes: 2560 * 1024, ColdFrac: 0.42,
+		ChaseFrac: 0.35, StrideFrac: 0.20,
+		MemoryBound: true,
+	},
+}
+
+// Names returns all benchmark names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Profile returns the synthetic model for a benchmark by name.
+func Profile(name string) (prog.Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return prog.Profile{}, fmt.Errorf("bench: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustProfile is Profile for known-good names; it panics on unknown names.
+func MustProfile(name string) prog.Profile {
+	p, err := Profile(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// BenchClass returns the benchmark's Table 2 classification.
+func BenchClass(name string) (Class, error) {
+	p, err := Profile(name)
+	if err != nil {
+		return ILP, err
+	}
+	if p.MemoryBound {
+		return MEM, nil
+	}
+	return ILP, nil
+}
+
+// Workload is one multithreaded workload from Table 2.
+type Workload struct {
+	// Name follows the paper ("2_MIX", "4_ILP", ...).
+	Name string
+	// Benchmarks lists the per-thread benchmarks.
+	Benchmarks []string
+}
+
+// Threads returns the thread count.
+func (w Workload) Threads() int { return len(w.Benchmarks) }
+
+// workloads reproduces Table 2 exactly.
+var workloadTable = []Workload{
+	{Name: "2_ILP", Benchmarks: []string{"eon", "gcc"}},
+	{Name: "2_MEM", Benchmarks: []string{"mcf", "twolf"}},
+	{Name: "2_MIX", Benchmarks: []string{"gzip", "twolf"}},
+	{Name: "4_ILP", Benchmarks: []string{"eon", "gcc", "gzip", "bzip2"}},
+	{Name: "4_MEM", Benchmarks: []string{"mcf", "twolf", "vpr", "perlbmk"}},
+	{Name: "4_MIX", Benchmarks: []string{"gzip", "twolf", "bzip2", "mcf"}},
+	{Name: "6_ILP", Benchmarks: []string{"eon", "gcc", "gzip", "bzip2", "crafty", "vortex"}},
+	{Name: "6_MIX", Benchmarks: []string{"gzip", "twolf", "bzip2", "mcf", "vpr", "eon"}},
+	{Name: "8_ILP", Benchmarks: []string{"eon", "gcc", "gzip", "bzip2", "crafty", "vortex", "gap", "parser"}},
+	{Name: "8_MIX", Benchmarks: []string{"gzip", "twolf", "bzip2", "mcf", "vpr", "eon", "gap", "parser"}},
+}
+
+// Workloads returns all Table 2 workloads in paper order.
+func Workloads() []Workload {
+	out := make([]Workload, len(workloadTable))
+	copy(out, workloadTable)
+	return out
+}
+
+// WorkloadByName looks up one workload.
+func WorkloadByName(name string) (Workload, error) {
+	for _, w := range workloadTable {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("bench: unknown workload %q", name)
+}
+
+// ILPWorkloads returns the workloads containing only ILP benchmarks, in
+// paper order (the Figure 5/6 set).
+func ILPWorkloads() []Workload {
+	var out []Workload
+	for _, w := range workloadTable {
+		if isILPOnly(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// MemWorkloads returns workloads with at least one MEM benchmark, in paper
+// order (the Figure 7/8 set: MIX and MEM).
+func MemWorkloads() []Workload {
+	var out []Workload
+	for _, w := range workloadTable {
+		if !isILPOnly(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func isILPOnly(w Workload) bool {
+	for _, b := range w.Benchmarks {
+		if profiles[b].MemoryBound {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package bpred
+
+import "smtfetch/internal/isa"
+
+// BTBEntry is one branch target buffer entry: the branch's kind and its
+// last-seen taken target.
+type BTBEntry struct {
+	Kind   isa.BranchKind
+	Target isa.Addr
+}
+
+// BTB is a set-associative branch target buffer keyed by branch PC
+// (Table 3: 2K entries, 4-way). A classical BTB stores *every* branch it
+// has seen; fetch blocks formed with a BTB therefore end at the first
+// branch, taken or not — one basic block per prediction.
+type BTB struct {
+	assoc int
+	sets  int
+	tags  []uint64
+	valid []bool
+	data  []BTBEntry
+	lru   []uint64
+	stamp uint64
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewBTB returns an empty BTB with the given total entry count and
+// associativity.
+func NewBTB(entries, assoc int) *BTB {
+	sets := entries / assoc
+	n := sets * assoc
+	return &BTB{
+		assoc: assoc,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		data:  make([]BTBEntry, n),
+		lru:   make([]uint64, n),
+	}
+}
+
+func (b *BTB) set(pc isa.Addr) int { return int((uint64(pc) >> 2) % uint64(b.sets)) }
+func (b *BTB) tag(pc isa.Addr) uint64 {
+	return uint64(pc) >> 2 / uint64(b.sets)
+}
+
+// Lookup probes the BTB for the branch at pc.
+func (b *BTB) Lookup(pc isa.Addr) (BTBEntry, bool) {
+	b.Lookups++
+	base := b.set(pc) * b.assoc
+	tag := b.tag(pc)
+	for w := 0; w < b.assoc; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == tag {
+			b.stamp++
+			b.lru[i] = b.stamp
+			b.Hits++
+			return b.data[i], true
+		}
+	}
+	return BTBEntry{}, false
+}
+
+// Insert installs or updates the entry for the branch at pc.
+func (b *BTB) Insert(pc isa.Addr, e BTBEntry) {
+	base := b.set(pc) * b.assoc
+	tag := b.tag(pc)
+	victim := base
+	for w := 0; w < b.assoc; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == tag {
+			b.data[i] = e
+			b.stamp++
+			b.lru[i] = b.stamp
+			return
+		}
+		if !b.valid[i] {
+			victim = i
+			break
+		}
+		if b.lru[i] < b.lru[victim] {
+			victim = i
+		}
+	}
+	b.valid[victim] = true
+	b.tags[victim] = tag
+	b.data[victim] = e
+	b.stamp++
+	b.lru[victim] = b.stamp
+}
+
+// HitRate returns hits/lookups.
+func (b *BTB) HitRate() float64 {
+	if b.Lookups == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(b.Lookups)
+}

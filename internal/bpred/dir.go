@@ -1,0 +1,185 @@
+// Package bpred implements the branch-prediction structures used by the
+// three fetch engines: gshare and gskew direction predictors, the branch
+// target buffer (BTB), the fetch target buffer (FTB), per-thread return
+// address stacks, and the two-level stream predictor with DOLC path
+// indexing.
+//
+// All predictors separate prediction (speculative, at the front-end) from
+// update (at commit), so wrong-path execution never trains the tables;
+// speculative history is managed by the caller via checkpoints.
+package bpred
+
+import "smtfetch/internal/isa"
+
+// counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) inc() counter {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func (c counter) dec() counter {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// DirPredictor predicts conditional-branch directions from (PC, global
+// history) pairs.
+type DirPredictor interface {
+	// Predict returns the predicted direction for the branch at pc with
+	// global history hist.
+	Predict(pc isa.Addr, hist uint64) bool
+	// Update trains the predictor with the resolved direction, using the
+	// history the prediction was made with.
+	Update(pc isa.Addr, hist uint64, taken bool)
+}
+
+// GShare is McFarling's gshare: a single table of 2-bit counters indexed by
+// PC XOR global history. With one 64K-entry table and 16 bits of history it
+// matches the paper's Table 3 budget.
+type GShare struct {
+	table    []counter
+	mask     uint64
+	histMask uint64
+}
+
+// NewGShare returns a gshare predictor with the given table size (a power
+// of two) and history length in bits. Counters start weakly taken-biased
+// off (01), the conventional initialization.
+func NewGShare(entries, historyBits int) *GShare {
+	g := &GShare{
+		table:    make([]counter, entries),
+		mask:     uint64(entries - 1),
+		histMask: (1 << uint(historyBits)) - 1,
+	}
+	for i := range g.table {
+		g.table[i] = 1
+	}
+	return g
+}
+
+func (g *GShare) index(pc isa.Addr, hist uint64) uint64 {
+	return ((uint64(pc) >> 2) ^ (hist & g.histMask)) & g.mask
+}
+
+// Predict implements DirPredictor.
+func (g *GShare) Predict(pc isa.Addr, hist uint64) bool {
+	return g.table[g.index(pc, hist)].taken()
+}
+
+// Update implements DirPredictor.
+func (g *GShare) Update(pc isa.Addr, hist uint64, taken bool) {
+	i := g.index(pc, hist)
+	if taken {
+		g.table[i] = g.table[i].inc()
+	} else {
+		g.table[i] = g.table[i].dec()
+	}
+}
+
+// GSkew is the skewed predictor of Michaud, Seznec and Uhlig: three banks of
+// 2-bit counters indexed by three different hash functions of (PC, history);
+// the prediction is the majority vote. Skewing de-correlates conflict
+// aliasing across banks, which is exactly the advantage over gshare that
+// the paper exploits.
+type GSkew struct {
+	banks    [3][]counter
+	mask     uint64
+	histMask uint64
+}
+
+// NewGSkew returns a gskew predictor with three banks of `entries` counters
+// each (Table 3: 3 x 32K, 15-bit history).
+func NewGSkew(entries, historyBits int) *GSkew {
+	g := &GSkew{
+		mask:     uint64(entries - 1),
+		histMask: (1 << uint(historyBits)) - 1,
+	}
+	for b := range g.banks {
+		g.banks[b] = make([]counter, entries)
+		for i := range g.banks[b] {
+			g.banks[b][i] = 1
+		}
+	}
+	return g
+}
+
+// The skewing functions play the role of the H/H^-1 construction of the
+// original paper: each bank sees a differently-mixed combination of PC and
+// history, so two (PC, history) pairs that collide in one bank very likely
+// differ in the other two. Bank 0 uses the plain gshare index; the other
+// banks apply distinct bijective multiplicative mixes before truncation.
+func (g *GSkew) index(bank int, pc isa.Addr, hist uint64) uint64 {
+	x := (uint64(pc) >> 2) ^ (hist & g.histMask)
+	switch bank {
+	case 1:
+		x *= 0x9e3779b97f4a7c15 // odd => bijective on 64 bits
+		x ^= x >> 29
+	case 2:
+		x *= 0xc2b2ae3d27d4eb4f
+		x ^= x >> 31
+	}
+	return x & g.mask
+}
+
+// Predict implements DirPredictor (majority of the three banks).
+func (g *GSkew) Predict(pc isa.Addr, hist uint64) bool {
+	votes := 0
+	for b := 0; b < 3; b++ {
+		if g.banks[b][g.index(b, pc, hist)].taken() {
+			votes++
+		}
+	}
+	return votes >= 2
+}
+
+// Update implements DirPredictor. All banks are trained (total update
+// policy; the partial-update variant changes little at these sizes).
+func (g *GSkew) Update(pc isa.Addr, hist uint64, taken bool) {
+	for b := 0; b < 3; b++ {
+		i := g.index(b, pc, hist)
+		if taken {
+			g.banks[b][i] = g.banks[b][i].inc()
+		} else {
+			g.banks[b][i] = g.banks[b][i].dec()
+		}
+	}
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters, used by tests as a
+// baseline and by the stream predictor's hysteresis.
+type Bimodal struct {
+	table []counter
+	mask  uint64
+}
+
+// NewBimodal returns a bimodal predictor with `entries` counters.
+func NewBimodal(entries int) *Bimodal {
+	b := &Bimodal{table: make([]counter, entries), mask: uint64(entries - 1)}
+	for i := range b.table {
+		b.table[i] = 1
+	}
+	return b
+}
+
+// Predict implements DirPredictor (history is ignored).
+func (b *Bimodal) Predict(pc isa.Addr, _ uint64) bool {
+	return b.table[(uint64(pc)>>2)&b.mask].taken()
+}
+
+// Update implements DirPredictor.
+func (b *Bimodal) Update(pc isa.Addr, _ uint64, taken bool) {
+	i := (uint64(pc) >> 2) & b.mask
+	if taken {
+		b.table[i] = b.table[i].inc()
+	} else {
+		b.table[i] = b.table[i].dec()
+	}
+}

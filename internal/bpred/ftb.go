@@ -1,0 +1,151 @@
+package bpred
+
+import "smtfetch/internal/isa"
+
+// FTBEntry describes a fetch block: from the start address to the first
+// branch past the start that has been observed taken ("ever-taken").
+// Branches inside the block that have never been taken are simply not
+// represented — this is what makes FTB fetch blocks larger than BTB basic
+// blocks (Reinman, Calder, Austin).
+type FTBEntry struct {
+	// Instrs is the block length in instructions, terminator included.
+	Instrs int
+	// Kind is the terminating branch's kind.
+	Kind isa.BranchKind
+	// Target is the terminating branch's taken target.
+	Target isa.Addr
+	// fallthroughs counts consecutive not-taken outcomes of the
+	// terminating branch; when it saturates the entry is invalidated so
+	// the block can re-form spanning the now-cold branch.
+	fallthroughs uint8
+}
+
+// ftbMaxFallthroughs is the invalidation threshold for cold terminators.
+const ftbMaxFallthroughs = 8
+
+// MaxFTBBlock caps the fetch-block length an FTB entry may describe.
+const MaxFTBBlock = 64
+
+// FTB is a set-associative fetch target buffer keyed by the fetch block's
+// start address (Table 3: 2K entries, 4-way — same budget as the BTB).
+type FTB struct {
+	assoc int
+	sets  int
+	tags  []uint64
+	valid []bool
+	data  []FTBEntry
+	lru   []uint64
+	stamp uint64
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewFTB returns an empty FTB.
+func NewFTB(entries, assoc int) *FTB {
+	sets := entries / assoc
+	n := sets * assoc
+	return &FTB{
+		assoc: assoc,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		data:  make([]FTBEntry, n),
+		lru:   make([]uint64, n),
+	}
+}
+
+func (f *FTB) set(pc isa.Addr) int    { return int((uint64(pc) >> 2) % uint64(f.sets)) }
+func (f *FTB) tag(pc isa.Addr) uint64 { return uint64(pc) >> 2 / uint64(f.sets) }
+
+func (f *FTB) find(pc isa.Addr) int {
+	base := f.set(pc) * f.assoc
+	tag := f.tag(pc)
+	for w := 0; w < f.assoc; w++ {
+		i := base + w
+		if f.valid[i] && f.tags[i] == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// Lookup probes the FTB for a fetch block starting at pc.
+func (f *FTB) Lookup(pc isa.Addr) (FTBEntry, bool) {
+	f.Lookups++
+	if i := f.find(pc); i >= 0 {
+		f.stamp++
+		f.lru[i] = f.stamp
+		f.Hits++
+		return f.data[i], true
+	}
+	return FTBEntry{}, false
+}
+
+// Train installs or updates the fetch block starting at start, terminated
+// by a taken branch `instrs` instructions in, of the given kind and target.
+// Called at commit when a taken branch resolves.
+func (f *FTB) Train(start isa.Addr, instrs int, kind isa.BranchKind, target isa.Addr) {
+	if instrs < 1 {
+		instrs = 1
+	}
+	if instrs > MaxFTBBlock {
+		instrs = MaxFTBBlock
+	}
+	e := FTBEntry{Instrs: instrs, Kind: kind, Target: target}
+	if i := f.find(start); i >= 0 {
+		f.data[i] = e
+		f.stamp++
+		f.lru[i] = f.stamp
+		return
+	}
+	base := f.set(start) * f.assoc
+	victim := base
+	for w := 0; w < f.assoc; w++ {
+		i := base + w
+		if !f.valid[i] {
+			victim = i
+			break
+		}
+		if f.lru[i] < f.lru[victim] {
+			victim = i
+		}
+	}
+	f.valid[victim] = true
+	f.tags[victim] = f.tag(start)
+	f.data[victim] = e
+	f.stamp++
+	f.lru[victim] = f.stamp
+}
+
+// Fallthrough records that the terminating branch of the block at start
+// resolved not-taken. After ftbMaxFallthroughs consecutive not-taken
+// outcomes the entry is dropped, letting the block re-form past the cold
+// branch. It reports whether the entry was invalidated.
+func (f *FTB) Fallthrough(start isa.Addr) bool {
+	i := f.find(start)
+	if i < 0 {
+		return false
+	}
+	f.data[i].fallthroughs++
+	if f.data[i].fallthroughs >= ftbMaxFallthroughs {
+		f.valid[i] = false
+		return true
+	}
+	return false
+}
+
+// TakenReset clears the fall-through hysteresis after a taken outcome.
+func (f *FTB) TakenReset(start isa.Addr) {
+	if i := f.find(start); i >= 0 {
+		f.data[i].fallthroughs = 0
+	}
+}
+
+// HitRate returns hits/lookups.
+func (f *FTB) HitRate() float64 {
+	if f.Lookups == 0 {
+		return 0
+	}
+	return float64(f.Hits) / float64(f.Lookups)
+}

@@ -1,0 +1,78 @@
+package bpred
+
+import "smtfetch/internal/isa"
+
+// RAS is a circular return address stack. Table 3 replicates a 64-entry RAS
+// per thread. Speculative pushes/pops are repaired after a squash with the
+// standard top-of-stack checkpoint: restoring the top index plus the entry
+// it points at fixes the common corruption patterns.
+type RAS struct {
+	entries []isa.Addr
+	top     int // index of the current top element; -1 when empty
+	depth   int // number of live entries (saturates at capacity)
+}
+
+// NewRAS returns an empty RAS with n entries.
+func NewRAS(n int) *RAS {
+	return &RAS{entries: make([]isa.Addr, n), top: -1}
+}
+
+// Push records a return address on a call.
+func (r *RAS) Push(a isa.Addr) {
+	r.top = (r.top + 1) % len(r.entries)
+	r.entries[r.top] = a
+	if r.depth < len(r.entries) {
+		r.depth++
+	}
+}
+
+// Pop predicts a return target. Popping an empty RAS returns 0 and false.
+func (r *RAS) Pop() (isa.Addr, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	a := r.entries[r.top]
+	r.top--
+	if r.top < 0 {
+		r.top += len(r.entries)
+	}
+	r.depth--
+	return a, true
+}
+
+// Top returns the current top without popping.
+func (r *RAS) Top() (isa.Addr, bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	return r.entries[r.top], true
+}
+
+// Depth returns the number of live entries.
+func (r *RAS) Depth() int { return r.depth }
+
+// Checkpoint captures the repair state: top index, depth, and the value on
+// top.
+type RASCheckpoint struct {
+	top   int
+	depth int
+	val   isa.Addr
+}
+
+// Checkpoint captures the current repair state.
+func (r *RAS) Checkpoint() RASCheckpoint {
+	cp := RASCheckpoint{top: r.top, depth: r.depth}
+	if r.depth > 0 {
+		cp.val = r.entries[r.top]
+	}
+	return cp
+}
+
+// Restore rewinds the RAS to a checkpoint.
+func (r *RAS) Restore(cp RASCheckpoint) {
+	r.top = cp.top
+	r.depth = cp.depth
+	if cp.depth > 0 && cp.top >= 0 {
+		r.entries[cp.top] = cp.val
+	}
+}

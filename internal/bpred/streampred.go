@@ -1,0 +1,221 @@
+package bpred
+
+import "smtfetch/internal/isa"
+
+// MaxStreamLen caps the stream length a predictor entry may describe
+// (streams longer than the fetch width are delivered over several cycles).
+const MaxStreamLen = 64
+
+// StreamPrediction is the stream predictor's output: fetch Length
+// instructions starting at the requested address, then continue at Next.
+type StreamPrediction struct {
+	// Length is the stream length in instructions, terminating branch
+	// included.
+	Length int
+	// Next is the predicted next-stream start (the terminating taken
+	// branch's target).
+	Next isa.Addr
+	// EndsInReturn marks streams terminated by a return; the next-stream
+	// address should come from the RAS instead of Next.
+	EndsInReturn bool
+	// EndsInCall marks streams terminated by a call (the front-end must
+	// push the return address).
+	EndsInCall bool
+}
+
+type streamEntry struct {
+	pred StreamPrediction
+	conf counter
+}
+
+// streamTable is one set-associative stream table.
+type streamTable struct {
+	assoc int
+	sets  int
+	tags  []uint64
+	valid []bool
+	data  []streamEntry
+	lru   []uint64
+	stamp uint64
+}
+
+func newStreamTable(entries, assoc int) *streamTable {
+	sets := entries / assoc
+	n := sets * assoc
+	return &streamTable{
+		assoc: assoc,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		data:  make([]streamEntry, n),
+		lru:   make([]uint64, n),
+	}
+}
+
+func (t *streamTable) set(key uint64) int    { return int(key % uint64(t.sets)) }
+func (t *streamTable) tagOf(key uint64) uint64 { return key / uint64(t.sets) }
+
+func (t *streamTable) find(key uint64) int {
+	base := t.set(key) * t.assoc
+	tag := t.tagOf(key)
+	for w := 0; w < t.assoc; w++ {
+		i := base + w
+		if t.valid[i] && t.tags[i] == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+func (t *streamTable) lookup(key uint64) (StreamPrediction, bool) {
+	if i := t.find(key); i >= 0 {
+		t.stamp++
+		t.lru[i] = t.stamp
+		return t.data[i].pred, true
+	}
+	return StreamPrediction{}, false
+}
+
+// train updates the entry for key toward pred with 2-bit hysteresis:
+// a matching outcome strengthens confidence; a mismatch weakens it and
+// replaces the payload only when confidence is exhausted. This keeps a
+// stable stream from being destroyed by one aberrant iteration.
+func (t *streamTable) train(key uint64, pred StreamPrediction) {
+	if i := t.find(key); i >= 0 {
+		e := &t.data[i]
+		if e.pred == pred {
+			e.conf = e.conf.inc()
+		} else {
+			if e.conf > 0 {
+				e.conf = e.conf.dec()
+			} else {
+				e.pred = pred
+				e.conf = 1
+			}
+		}
+		t.stamp++
+		t.lru[i] = t.stamp
+		return
+	}
+	base := t.set(key) * t.assoc
+	victim := base
+	for w := 0; w < t.assoc; w++ {
+		i := base + w
+		if !t.valid[i] {
+			victim = i
+			break
+		}
+		if t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.valid[victim] = true
+	t.tags[victim] = t.tagOf(key)
+	t.data[victim] = streamEntry{pred: pred, conf: 1}
+	t.stamp++
+	t.lru[victim] = t.stamp
+}
+
+// PathHistory is the DOLC path history: the targets of the last Depth
+// taken branches. It is small enough to checkpoint by value.
+type PathHistory struct {
+	ring [16]uint32
+	pos  uint8
+}
+
+// Push records a new taken-branch target.
+func (p *PathHistory) Push(target isa.Addr) {
+	p.pos = (p.pos + 1) % uint8(len(p.ring))
+	p.ring[p.pos] = uint32(uint64(target) >> 2)
+}
+
+// DOLC describes the Depth-Older-Last-Current index construction of the
+// stream predictor (Table 3: 16-2-4-10).
+type DOLC struct {
+	Depth, Older, Last, Current int
+}
+
+// Hash folds the path history and the current stream start into an index
+// key: Current bits from the start address, Last bits from the most recent
+// target, and Older bits from each of the Depth-1 older targets, XOR-folded
+// with rotation.
+func (d DOLC) Hash(p *PathHistory, current isa.Addr) uint64 {
+	key := (uint64(current) >> 2) & ((1 << uint(d.Current)) - 1)
+	shift := uint(d.Current)
+	last := uint64(p.ring[p.pos]) & ((1 << uint(d.Last)) - 1)
+	key ^= last << shift
+	shift += uint(d.Last)
+	olderMask := uint64(1)<<uint(d.Older) - 1
+	n := d.Depth - 1
+	if n > len(p.ring)-1 {
+		n = len(p.ring) - 1
+	}
+	for i := 1; i <= n; i++ {
+		idx := (int(p.pos) - i + len(p.ring)*2) % len(p.ring)
+		v := uint64(p.ring[idx]) & olderMask
+		key ^= v << (shift % 48)
+		shift += uint(d.Older)
+	}
+	// Final avalanche so high-order contributions reach the set index.
+	key ^= key >> 17
+	key *= 0x9e3779b97f4a7c15
+	return key >> 13
+}
+
+// StreamPredictor is the two-level stream predictor of Ramirez et al.: a
+// first-level table indexed by stream start only, and a second-level table
+// indexed by the DOLC hash of (path history, start). The second level
+// disambiguates streams whose length depends on the path that reached them.
+type StreamPredictor struct {
+	l1   *streamTable
+	l2   *streamTable
+	dolc DOLC
+
+	Lookups uint64
+	L2Hits  uint64
+	L1Hits  uint64
+}
+
+// NewStreamPredictor returns a stream predictor with Table 3 geometry.
+func NewStreamPredictor(l1Entries, l1Assoc, l2Entries, l2Assoc int, dolc DOLC) *StreamPredictor {
+	return &StreamPredictor{
+		l1:   newStreamTable(l1Entries, l1Assoc),
+		l2:   newStreamTable(l2Entries, l2Assoc),
+		dolc: dolc,
+	}
+}
+
+// Predict returns the stream starting at start given the path history.
+func (s *StreamPredictor) Predict(start isa.Addr, path *PathHistory) (StreamPrediction, bool) {
+	s.Lookups++
+	if pred, ok := s.l2.lookup(s.dolc.Hash(path, start)); ok {
+		s.L2Hits++
+		return pred, true
+	}
+	if pred, ok := s.l1.lookup(uint64(start) >> 2); ok {
+		s.L1Hits++
+		return pred, true
+	}
+	return StreamPrediction{}, false
+}
+
+// Train records the resolved stream (start, path) -> pred in both levels.
+// Called at commit when the stream's terminating taken branch retires.
+func (s *StreamPredictor) Train(start isa.Addr, path *PathHistory, pred StreamPrediction) {
+	if pred.Length < 1 {
+		pred.Length = 1
+	}
+	if pred.Length > MaxStreamLen {
+		pred.Length = MaxStreamLen
+	}
+	s.l2.train(s.dolc.Hash(path, start), pred)
+	s.l1.train(uint64(start)>>2, pred)
+}
+
+// HitRate returns the fraction of lookups served by either level.
+func (s *StreamPredictor) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.L1Hits+s.L2Hits) / float64(s.Lookups)
+}

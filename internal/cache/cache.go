@@ -1,0 +1,338 @@
+// Package cache implements the memory-hierarchy substrate: set-associative,
+// multi-bank, LRU caches with miss status holding registers (MSHRs), a
+// two-level hierarchy (split L1 I/D over a unified L2 over main memory), and
+// fully-associative TLBs. Timing is returned to the caller as completion
+// cycles; the pipeline model decides what overlaps with what.
+package cache
+
+import (
+	"fmt"
+
+	"smtfetch/internal/config"
+	"smtfetch/internal/isa"
+)
+
+// Cache is a set-associative cache with true-LRU replacement.
+// It tracks tags only (the simulator never stores data).
+type Cache struct {
+	cfg      config.CacheConfig
+	sets     int
+	lineBits uint
+	setMask  uint64
+	bankMask uint64
+	// ways[set*assoc+way]
+	tags  []uint64
+	valid []bool
+	// lru[set*assoc+way]: lower value = older. Monotonic per-set stamp.
+	lru   []uint64
+	stamp uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// New returns an empty cache with the given geometry.
+func New(cfg config.CacheConfig) *Cache {
+	sets := cfg.Sets()
+	n := sets * cfg.Assoc
+	c := &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		lru:   make([]uint64, n),
+	}
+	for lb := cfg.LineBytes; lb > 1; lb >>= 1 {
+		c.lineBits++
+	}
+	c.setMask = uint64(sets - 1)
+	if cfg.Banks > 0 {
+		c.bankMask = uint64(cfg.Banks - 1)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() config.CacheConfig { return c.cfg }
+
+// LineAddr returns the line-aligned address containing a.
+func (c *Cache) LineAddr(a isa.Addr) isa.Addr {
+	return isa.Addr(uint64(a) &^ (uint64(c.cfg.LineBytes) - 1))
+}
+
+// Bank returns the interleaved bank index for address a (line-granularity
+// interleaving, as in Table 3's 8-bank caches).
+func (c *Cache) Bank(a isa.Addr) int {
+	return int((uint64(a) >> c.lineBits) & c.bankMask)
+}
+
+func (c *Cache) set(a isa.Addr) int {
+	return int((uint64(a) >> c.lineBits) & c.setMask)
+}
+
+// Lookup probes the cache for the line containing a, updating LRU state and
+// access counters. It reports whether the line was present.
+func (c *Cache) Lookup(a isa.Addr) bool {
+	c.Accesses++
+	set := c.set(a)
+	tag := uint64(a) >> c.lineBits
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.stamp++
+			c.lru[base+w] = c.stamp
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Probe is Lookup without counter or LRU side effects (for tests and for
+// checking residency without modelling an access).
+func (c *Cache) Probe(a isa.Addr) bool {
+	set := c.set(a)
+	tag := uint64(a) >> c.lineBits
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs the line containing a, evicting the LRU way if needed.
+// It reports the evicted line address and whether an eviction occurred.
+func (c *Cache) Fill(a isa.Addr) (evicted isa.Addr, wasEvicted bool) {
+	set := c.set(a)
+	tag := uint64(a) >> c.lineBits
+	base := set * c.cfg.Assoc
+	victim := base
+	for w := 0; w < c.cfg.Assoc; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			// Already present (e.g. a racing fill); refresh LRU.
+			c.stamp++
+			c.lru[i] = c.stamp
+			return 0, false
+		}
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		evicted = isa.Addr(c.tags[victim] << c.lineBits)
+		wasEvicted = true
+	}
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.stamp++
+	c.lru[victim] = c.stamp
+	return evicted, wasEvicted
+}
+
+// Invalidate removes the line containing a if present.
+func (c *Cache) Invalidate(a isa.Addr) {
+	set := c.set(a)
+	tag := uint64(a) >> c.lineBits
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.valid[base+w] = false
+			return
+		}
+	}
+}
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// TLB is a fully-associative LRU translation buffer over fixed-size pages.
+type TLB struct {
+	entries  int
+	pageBits uint
+	pages    []uint64
+	valid    []bool
+	lru      []uint64
+	stamp    uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// PageBytes is the simulated page size.
+const PageBytes = 4096
+
+// NewTLB returns an empty TLB with the given entry count.
+func NewTLB(entries int) *TLB {
+	t := &TLB{
+		entries: entries,
+		pages:   make([]uint64, entries),
+		valid:   make([]bool, entries),
+		lru:     make([]uint64, entries),
+	}
+	for pb := PageBytes; pb > 1; pb >>= 1 {
+		t.pageBits++
+	}
+	return t
+}
+
+// Lookup probes for the page of a, filling on miss (hardware-walked TLB),
+// and reports whether it hit.
+func (t *TLB) Lookup(a isa.Addr) bool {
+	t.Accesses++
+	page := uint64(a) >> t.pageBits
+	victim := 0
+	for i := 0; i < t.entries; i++ {
+		if t.valid[i] && t.pages[i] == page {
+			t.stamp++
+			t.lru[i] = t.stamp
+			return true
+		}
+		if !t.valid[i] {
+			victim = i
+		} else if t.valid[victim] && t.lru[i] < t.lru[victim] {
+			victim = i
+		}
+	}
+	t.Misses++
+	t.pages[victim] = page
+	t.valid[victim] = true
+	t.stamp++
+	t.lru[victim] = t.stamp
+	return false
+}
+
+// mshr tracks one outstanding line miss; duplicate misses to the same line
+// merge onto the existing entry.
+type mshr struct {
+	ready uint64 // cycle at which the fill completes
+}
+
+// Hierarchy glues L1I, L1D, L2, the TLBs and main-memory latency together
+// and owns the MSHR bookkeeping. All methods take the current cycle and
+// return the cycle at which the requested line is available.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	ITLB, DTLB   *TLB
+
+	memLat  int
+	tlbLat  int
+	imshrs  map[isa.Addr]*mshr
+	dmshrs  map[isa.Addr]*mshr
+	dmshrsN int // per-thread cap enforced by caller via InFlightData
+}
+
+// NewHierarchy builds the hierarchy from the machine configuration.
+func NewHierarchy(cfg *config.Config) *Hierarchy {
+	return &Hierarchy{
+		L1I:     New(cfg.L1I),
+		L1D:     New(cfg.L1D),
+		L2:      New(cfg.L2),
+		ITLB:    NewTLB(cfg.ITLBEntries),
+		DTLB:    NewTLB(cfg.DTLBEntries),
+		memLat:  cfg.MemLatency,
+		tlbLat:  cfg.TLBMissLatency,
+		imshrs:  make(map[isa.Addr]*mshr),
+		dmshrs:  make(map[isa.Addr]*mshr),
+		dmshrsN: cfg.DMSHRs,
+	}
+}
+
+// AccessResult describes one hierarchy access.
+type AccessResult struct {
+	// Ready is the cycle at which the data is available.
+	Ready uint64
+	// L1Miss / L2Miss report where the access missed.
+	L1Miss, L2Miss bool
+	// TLBMiss reports a translation miss (latency already included).
+	TLBMiss bool
+	// Merged reports that the access merged onto an outstanding MSHR.
+	Merged bool
+}
+
+// Instr performs an instruction fetch of the line containing a at cycle
+// now.
+func (h *Hierarchy) Instr(now uint64, a isa.Addr) AccessResult {
+	return h.access(now, a, h.L1I, h.ITLB, h.imshrs)
+}
+
+// Data performs a data access (load or store) of the line containing a at
+// cycle now.
+func (h *Hierarchy) Data(now uint64, a isa.Addr) AccessResult {
+	return h.access(now, a, h.L1D, h.DTLB, h.dmshrs)
+}
+
+func (h *Hierarchy) access(now uint64, a isa.Addr, l1 *Cache, tlb *TLB, mshrs map[isa.Addr]*mshr) AccessResult {
+	var res AccessResult
+	penalty := uint64(0)
+	if !tlb.Lookup(a) {
+		res.TLBMiss = true
+		penalty += uint64(h.tlbLat)
+	}
+	line := l1.LineAddr(a)
+	if l1.Lookup(a) {
+		res.Ready = now + penalty + uint64(l1.cfg.HitLatency)
+		return res
+	}
+	res.L1Miss = true
+	// Merge with an outstanding miss for this line if one exists.
+	if m, ok := mshrs[line]; ok && m.ready > now {
+		res.Merged = true
+		res.Ready = m.ready + penalty
+		return res
+	}
+	lat := uint64(l1.cfg.HitLatency)
+	if h.L2.Lookup(a) {
+		lat += uint64(h.L2.cfg.HitLatency)
+	} else {
+		res.L2Miss = true
+		lat += uint64(h.L2.cfg.HitLatency) + uint64(h.memLat)
+		h.L2.Fill(a)
+	}
+	l1.Fill(a)
+	ready := now + penalty + lat
+	mshrs[line] = &mshr{ready: ready}
+	res.Ready = ready
+	return res
+}
+
+// InFlightData returns the number of data-line misses still outstanding at
+// cycle now. The pipeline uses this to enforce the per-thread MSHR budget.
+func (h *Hierarchy) InFlightData(now uint64) int {
+	n := 0
+	for line, m := range h.dmshrs {
+		if m.ready > now {
+			n++
+		} else {
+			delete(h.dmshrs, line)
+		}
+	}
+	return n
+}
+
+// GCInstr drops completed instruction MSHRs; called occasionally to bound
+// map growth on long runs.
+func (h *Hierarchy) GCInstr(now uint64) {
+	for line, m := range h.imshrs {
+		if m.ready <= now {
+			delete(h.imshrs, line)
+		}
+	}
+}
+
+// String summarizes hit rates for debugging.
+func (h *Hierarchy) String() string {
+	return fmt.Sprintf("L1I miss %.4f, L1D miss %.4f, L2 miss %.4f",
+		h.L1I.MissRate(), h.L1D.MissRate(), h.L2.MissRate())
+}

@@ -1,0 +1,657 @@
+// Package core implements the cycle-level SMT processor simulator: a
+// 9-stage pipeline with the decoupled front-end of the paper (prediction
+// stage -> FTQs -> fetch stage) feeding a shared out-of-order back-end
+// (decode/rename, shared ROB and issue queues, ICOUNT fetch policy), with
+// trace-driven wrong-path execution.
+package core
+
+import (
+	"fmt"
+
+	"smtfetch/internal/cache"
+	"smtfetch/internal/config"
+	"smtfetch/internal/fetch"
+	"smtfetch/internal/ftq"
+	"smtfetch/internal/isa"
+	"smtfetch/internal/pipeline"
+	"smtfetch/internal/prog"
+	"smtfetch/internal/stats"
+)
+
+// ringBits sizes the per-thread dependence-lookup ring (must exceed the
+// maximum in-flight window plus the maximum dependence distance).
+const ringBits = 12
+
+type threadState struct {
+	icount             int
+	predictStallUntil  uint64
+	icacheBlockedUntil uint64
+	// ring resolves dependence distances: PathSeq -> producing uop.
+	ring [1 << ringBits]*pipeline.UOp
+}
+
+// Sim is one simulated SMT processor executing a fixed set of threads.
+type Sim struct {
+	cfg  *config.Config
+	fe   *fetch.FrontEnd
+	hier *cache.Hierarchy
+	lat  isa.LatencyTable
+	st   *stats.Stats
+
+	rob     *pipeline.ROB
+	iqs     [pipeline.NumQueues]*pipeline.IssueQueue
+	intRegs *pipeline.RegFile
+	fpRegs  *pipeline.RegFile
+	intFUs  *pipeline.FUPool
+	lsFUs   *pipeline.FUPool
+	fpFUs   *pipeline.FUPool
+
+	fetchBuf      []*pipeline.UOp
+	frontPipe     []*pipeline.UOp
+	execList      []*pipeline.UOp
+	pendingDecode []*pipeline.UOp
+
+	threads  []threadState
+	nthreads int
+
+	now  uint64
+	gseq uint64
+
+	frontLatency int
+	mshrCap      int
+	inFlightData int
+}
+
+// New builds a simulator for the given configuration and per-thread
+// programs. seed makes the whole run deterministic.
+func New(cfg config.Config, programs []*prog.Program, seed uint64) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(programs) == 0 {
+		return nil, fmt.Errorf("core: no programs")
+	}
+	if len(programs) > cfg.MaxThreads {
+		return nil, fmt.Errorf("core: %d threads exceeds MaxThreads=%d", len(programs), cfg.MaxThreads)
+	}
+	n := len(programs)
+	s := &Sim{
+		cfg:      &cfg,
+		hier:     cache.NewHierarchy(&cfg),
+		lat:      isa.DefaultLatencies(),
+		rob:      pipeline.NewROB(cfg.ROBSize, n),
+		intRegs:  pipeline.NewRegFile(cfg.IntRegs, 32*n),
+		fpRegs:   pipeline.NewRegFile(cfg.FPRegs, 32*n),
+		intFUs:   pipeline.NewFUPool(cfg.IntUnits),
+		lsFUs:    pipeline.NewFUPool(cfg.LSUnits),
+		fpFUs:    pipeline.NewFUPool(cfg.FPUnits),
+		threads:  make([]threadState, n),
+		nthreads: n,
+
+		frontLatency: cfg.DecodeStages + cfg.RenameStages,
+		mshrCap:      cfg.DMSHRs * n,
+	}
+	s.fe = fetch.New(&cfg, programs, seed)
+	s.iqs[pipeline.QInt] = pipeline.NewIssueQueue(cfg.IntQueueSize)
+	s.iqs[pipeline.QLoadStore] = pipeline.NewIssueQueue(cfg.LSQueueSize)
+	s.iqs[pipeline.QFloat] = pipeline.NewIssueQueue(cfg.FPQueueSize)
+	s.st = stats.New(n, cfg.FetchPolicy.Width)
+	return s, nil
+}
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() *stats.Stats { return s.st }
+
+// Config returns the simulated configuration.
+func (s *Sim) Config() config.Config { return *s.cfg }
+
+// Cycles returns the current cycle count.
+func (s *Sim) Cycles() uint64 { return s.now }
+
+// ResetStats zeroes the statistics counters (used to exclude warm-up).
+func (s *Sim) ResetStats() {
+	old := s.st
+	s.st = stats.New(s.nthreads, s.cfg.FetchPolicy.Width)
+	_ = old
+}
+
+// Run simulates until totalCommits instructions have committed or
+// maxCycles cycles elapsed, and returns the statistics.
+func (s *Sim) Run(totalCommits, maxCycles uint64) *stats.Stats {
+	base := s.st.Committed
+	limit := s.now + maxCycles
+	for s.st.Committed-base < totalCommits && s.now < limit {
+		s.Cycle()
+	}
+	return s.st
+}
+
+// Cycle advances the processor one cycle. Stages run back to front so a
+// resource freed this cycle is usable next cycle, not instantaneously.
+func (s *Sim) Cycle() {
+	s.commit()
+	s.writeback()
+	s.decodeResolve()
+	s.issue()
+	s.dispatch()
+	s.decodeAdvance()
+	s.fetchStage()
+	s.predictStage()
+	s.now++
+	s.st.Cycles++
+	if s.now%4096 == 0 {
+		s.hier.GCInstr(s.now)
+	}
+}
+
+// icounts gathers the per-thread ICOUNT values.
+func (s *Sim) icounts() []int {
+	out := make([]int, s.nthreads)
+	for i := range s.threads {
+		out[i] = s.threads[i].icount
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- commit
+
+func (s *Sim) commit() {
+	budget := s.cfg.CommitWidth
+	start := int(s.now) % s.nthreads
+	for i := 0; i < s.nthreads && budget > 0; i++ {
+		t := (start + i) % s.nthreads
+		for budget > 0 {
+			u := s.rob.Head(t)
+			if u == nil || !u.Done {
+				break
+			}
+			if u.Ghost {
+				panic("core: ghost uop reached commit")
+			}
+			s.rob.PopHead(t)
+			s.releaseReg(u)
+			budget--
+			s.st.Committed++
+			s.st.PerThread[t].Committed++
+			if u.IsBranch() || u.Info != nil {
+				s.commitBranch(t, u)
+			}
+		}
+	}
+}
+
+func (s *Sim) commitBranch(t int, u *pipeline.UOp) {
+	s.fe.CommitBranch(t, &u.Instruction, u.Info)
+	if u.BrKind == isa.CondBranch {
+		s.st.CondBranches++
+		s.st.PerThread[t].CondBranches++
+	}
+	if u.Info == nil {
+		return
+	}
+	switch u.Info.Resolve {
+	case ftq.ResolveExecute:
+		if u.BrKind == isa.CondBranch {
+			s.st.CondMispredicts++
+			s.st.PerThread[t].CondMispredicts++
+		}
+	case ftq.ResolveDecode:
+		s.st.TargetMisfetches++
+	}
+	if u.Info.StreamPredicted {
+		s.st.StreamPredictions++
+		if u.Info.Resolve != ftq.ResolveNone {
+			s.st.StreamMisses++
+		}
+	}
+	if u.Info.UsedRAS {
+		s.st.RASPops++
+		if u.Info.Resolve != ftq.ResolveNone {
+			s.st.RASMispredicts++
+		}
+	}
+}
+
+func (s *Sim) releaseReg(u *pipeline.UOp) {
+	if !u.HasDest || !u.Dispatched {
+		return
+	}
+	if u.Class == isa.FPOp {
+		s.fpRegs.Release()
+	} else {
+		s.intRegs.Release()
+	}
+}
+
+// ------------------------------------------------------------- writeback
+
+func (s *Sim) writeback() {
+	out := s.execList[:0]
+	for _, u := range s.execList {
+		if u.Squashed {
+			continue
+		}
+		if u.ReadyAt > s.now {
+			out = append(out, u)
+			continue
+		}
+		u.Done = true
+		if u.Info != nil && u.Info.Resolve == ftq.ResolveExecute && !u.Ghost && !u.Recovered {
+			u.Recovered = true
+			s.recover(u, s.cfg.MispredictRedirectPenalty)
+		}
+	}
+	for i := len(out); i < len(s.execList); i++ {
+		s.execList[i] = nil
+	}
+	s.execList = out
+}
+
+// decodeResolve fires misfetch recoveries for branches whose wrongness is
+// detectable at decode.
+func (s *Sim) decodeResolve() {
+	out := s.pendingDecode[:0]
+	for _, u := range s.pendingDecode {
+		if u.Squashed || u.Recovered {
+			continue
+		}
+		if u.DecodeAt > s.now {
+			out = append(out, u)
+			continue
+		}
+		u.Recovered = true
+		s.recover(u, s.cfg.MisfetchPenalty)
+	}
+	for i := len(out); i < len(s.pendingDecode); i++ {
+		s.pendingDecode[i] = nil
+	}
+	s.pendingDecode = out
+}
+
+// ---------------------------------------------------------------- issue
+
+func (s *Sim) issue() {
+	s.inFlightData = s.hier.InFlightData(s.now)
+	for kind := 0; kind < pipeline.NumQueues; kind++ {
+		q := s.iqs[kind]
+		q.Scan(func(u *pipeline.UOp) bool {
+			if !s.depsReady(u) {
+				return false
+			}
+			pool := s.poolFor(u.Class)
+			if u.Class == isa.Load && s.inFlightData >= s.mshrCap {
+				return false
+			}
+			if !pool.TryIssue(s.now) {
+				return false
+			}
+			s.startExec(u)
+			return true
+		})
+	}
+}
+
+func (s *Sim) poolFor(c isa.Class) *pipeline.FUPool {
+	switch c {
+	case isa.Load, isa.Store:
+		return s.lsFUs
+	case isa.FPOp:
+		return s.fpFUs
+	default:
+		return s.intFUs
+	}
+}
+
+func (s *Sim) startExec(u *pipeline.UOp) {
+	u.Issued = true
+	if u.InICount {
+		u.InICount = false
+		s.threads[u.Thread].icount--
+	}
+	ready := s.now + uint64(s.lat[u.Class])
+	switch u.Class {
+	case isa.Load:
+		res := s.hier.Data(s.now, u.EffAddr)
+		s.st.DCacheAccesses++
+		if res.TLBMiss {
+			s.st.DTLBMisses++
+		}
+		if res.L1Miss {
+			s.st.DCacheMisses++
+			if !res.Merged {
+				s.inFlightData++
+			}
+			if res.L2Miss {
+				s.st.L2Misses++
+			}
+			s.st.L2Accesses++
+		}
+		ready = res.Ready
+	case isa.Store:
+		// Stores update cache state but retire through the store
+		// buffer without stalling the pipeline.
+		res := s.hier.Data(s.now, u.EffAddr)
+		s.st.DCacheAccesses++
+		if res.L1Miss {
+			s.st.DCacheMisses++
+			s.st.L2Accesses++
+			if res.L2Miss {
+				s.st.L2Misses++
+			}
+		}
+		ready = s.now + 1
+	}
+	u.ReadyAt = ready
+	s.execList = append(s.execList, u)
+}
+
+// depsReady reports whether u's register inputs are available at s.now.
+func (s *Sim) depsReady(u *pipeline.UOp) bool {
+	return s.depReady(u, u.Dep1) && s.depReady(u, u.Dep2)
+}
+
+func (s *Sim) depReady(u *pipeline.UOp, d uint16) bool {
+	if d == 0 || uint64(d) > u.PathSeq {
+		return true
+	}
+	want := u.PathSeq - uint64(d)
+	p := s.threads[u.Thread].ring[want&((1<<ringBits)-1)]
+	if p == nil || p.PathSeq != want || p.Ghost != u.Ghost || p.Squashed {
+		// Producer already left the window (or belongs to a stale
+		// path): its value is architecturally available.
+		return true
+	}
+	if !p.HasDest {
+		return true
+	}
+	return p.Done && p.ReadyAt <= s.now
+}
+
+// -------------------------------------------------------------- dispatch
+
+func (s *Sim) dispatch() {
+	budget := s.cfg.DecodeWidth
+	for budget > 0 && len(s.frontPipe) > 0 {
+		u := s.frontPipe[0]
+		if u.Squashed {
+			s.frontPipe = s.frontPipe[1:]
+			continue
+		}
+		if s.now < u.EnterFront+uint64(s.frontLatency) {
+			break
+		}
+		kind := pipeline.QueueKind(u.Class)
+		if s.rob.Full() {
+			s.st.StallROBFull++
+			break
+		}
+		if s.iqs[kind].Full() {
+			s.st.StallIQFull++
+			break
+		}
+		if u.HasDest {
+			rf := s.intRegs
+			if u.Class == isa.FPOp {
+				rf = s.fpRegs
+			}
+			if rf.Free() <= 0 {
+				s.st.StallRegsFull++
+				break
+			}
+			rf.Alloc()
+		}
+		s.rob.Dispatch(u)
+		s.iqs[kind].Add(u)
+		u.Dispatched = true
+		s.frontPipe = s.frontPipe[1:]
+		budget--
+	}
+}
+
+// decodeAdvance moves uops from the fetch buffer into the decode/rename
+// pipe.
+func (s *Sim) decodeAdvance() {
+	budget := s.cfg.DecodeWidth
+	for budget > 0 && len(s.fetchBuf) > 0 {
+		u := s.fetchBuf[0]
+		s.fetchBuf = s.fetchBuf[1:]
+		if u.Squashed {
+			continue
+		}
+		u.EnterFront = s.now
+		u.DecodeAt = s.now + uint64(s.cfg.DecodeStages)
+		if u.Info != nil && u.Info.Resolve == ftq.ResolveDecode && !u.Ghost {
+			s.pendingDecode = append(s.pendingDecode, u)
+		}
+		s.frontPipe = append(s.frontPipe, u)
+		budget--
+	}
+}
+
+// ------------------------------------------------------------ fetch stage
+
+func (s *Sim) fetchStage() {
+	room := s.cfg.FetchBufferSize - len(s.fetchBuf)
+	if room <= 0 {
+		s.st.FetchBufStalls++
+		return
+	}
+	width := s.cfg.FetchPolicy.Width
+	if room < width {
+		width = room
+	}
+
+	eligible := func(t int) bool {
+		ts := &s.threads[t]
+		if ts.icacheBlockedUntil > s.now {
+			return false
+		}
+		return s.fe.Queue(t).Len() > 0
+	}
+	order := fetch.Prioritize(s.cfg.FetchPolicy.Policy, s.icounts(), eligible, s.now, s.cfg.FetchPolicy.Threads)
+	// Count an attempted fetch cycle also when every eligible thread is
+	// blocked on the I-cache (the fetch unit had requests but delivered
+	// nothing).
+	attempted := len(order) > 0
+	if !attempted {
+		for t := 0; t < s.nthreads; t++ {
+			if s.fe.Queue(t).Len() > 0 && s.threads[t].icacheBlockedUntil > s.now {
+				attempted = true
+				break
+			}
+		}
+	}
+	if !attempted {
+		return
+	}
+
+	delivered := 0
+	usedBanks := map[int]bool{}
+	for _, t := range order {
+		if delivered >= width {
+			break
+		}
+		n := s.fetchFromThread(t, width-delivered, usedBanks)
+		delivered += n
+	}
+	s.st.FetchCycles++
+	if delivered < len(s.st.FetchHist) {
+		s.st.FetchHist[delivered]++
+	} else {
+		s.st.FetchHist[len(s.st.FetchHist)-1]++
+	}
+	s.st.Fetched += uint64(delivered)
+}
+
+// fetchFromThread delivers up to budget instructions from thread t's FTQ
+// head request, honouring cache-line supply limits and bank conflicts.
+// It returns the number of instructions delivered.
+func (s *Sim) fetchFromThread(t, budget int, usedBanks map[int]bool) int {
+	ts := &s.threads[t]
+	q := s.fe.Queue(t)
+	req := q.Head()
+	if req == nil {
+		return 0
+	}
+	pc := req.NextPC()
+	lineBytes := isa.Addr(s.cfg.L1I.LineBytes)
+	line1 := pc &^ (lineBytes - 1)
+
+	// A thread reads at most two consecutive lines per cycle (the
+	// interleaved banks supply an aligned pair).
+	span := req.Remaining()
+	if span > budget {
+		span = budget
+	}
+	endLimit := line1 + 2*lineBytes
+	if end := pc + isa.Addr(span*isa.InstrSize); end > endLimit {
+		span = int((endLimit - pc) / isa.InstrSize)
+	}
+	if span <= 0 {
+		return 0
+	}
+
+	// Bank conflict check against lines already read this cycle.
+	b1 := s.hier.L1I.Bank(line1)
+	lastAddr := pc + isa.Addr((span-1)*isa.InstrSize)
+	line2 := lastAddr &^ (lineBytes - 1)
+	if usedBanks[b1] || (line2 != line1 && usedBanks[s.hier.L1I.Bank(line2)]) {
+		return 0
+	}
+
+	// I-cache (and ITLB) access for the first line.
+	s.st.ICacheAccesses++
+	res := s.hier.Instr(s.now, line1)
+	if res.TLBMiss {
+		s.st.ITLBMisses++
+	}
+	if res.L1Miss {
+		s.st.ICacheMisses++
+		s.st.L2Accesses++
+		if res.L2Miss {
+			s.st.L2Misses++
+		}
+		ts.icacheBlockedUntil = res.Ready
+		s.st.PerThread[t].ICacheMissStall += res.Ready - s.now
+		return 0
+	}
+	usedBanks[b1] = true
+	if line2 != line1 {
+		s.st.ICacheAccesses++
+		res2 := s.hier.Instr(s.now, line2)
+		if res2.L1Miss {
+			s.st.ICacheMisses++
+			s.st.L2Accesses++
+			if res2.L2Miss {
+				s.st.L2Misses++
+			}
+			// Deliver only the first line's portion; the thread
+			// blocks until the second line arrives.
+			span = int((line2 - pc) / isa.InstrSize)
+			ts.icacheBlockedUntil = res2.Ready
+			s.st.PerThread[t].ICacheMissStall += res2.Ready - s.now
+			if span <= 0 {
+				return 0
+			}
+		} else {
+			usedBanks[s.hier.L1I.Bank(line2)] = true
+		}
+	}
+
+	// Deliver span instructions into the fetch buffer.
+	for i := 0; i < span; i++ {
+		idx := req.Consumed + i
+		s.gseq++
+		u := &pipeline.UOp{
+			Instruction: req.Instrs[idx],
+			Info:        req.Branch[idx],
+			Thread:      t,
+			Ghost:       req.WrongPath,
+			GSeq:        s.gseq,
+			FetchedAt:   s.now,
+			InICount:    true,
+		}
+		ts.icount++
+		ts.ring[u.PathSeq&((1<<ringBits)-1)] = u
+		s.fetchBuf = append(s.fetchBuf, u)
+		s.st.PerThread[t].Fetched++
+	}
+	req.Consumed += span
+	if req.Remaining() == 0 {
+		q.PopHead()
+	}
+	return span
+}
+
+// ---------------------------------------------------------- predict stage
+
+func (s *Sim) predictStage() {
+	eligible := func(t int) bool {
+		if s.threads[t].predictStallUntil > s.now {
+			return false
+		}
+		return s.fe.CanPredict(t)
+	}
+	order := fetch.Prioritize(s.cfg.FetchPolicy.Policy, s.icounts(), eligible, s.now, s.cfg.FetchPolicy.Threads)
+	for _, t := range order {
+		if req := s.fe.Predict(t); req != nil {
+			s.st.FetchBlocks++
+			s.st.FetchBlockLenSum += uint64(len(req.Instrs))
+		}
+	}
+}
+
+// -------------------------------------------------------------- recovery
+
+// recover squashes everything younger than u on u's thread and redirects
+// the front-end.
+func (s *Sim) recover(u *pipeline.UOp, penalty int) {
+	t := u.Thread
+	ts := &s.threads[t]
+
+	// Back end: ROB tail (covers issue queues and exec list via the
+	// Squashed flag).
+	for _, v := range s.rob.SquashYounger(t, u.GSeq) {
+		s.releaseReg(v)
+		if v.InICount {
+			v.InICount = false
+			ts.icount--
+		}
+		s.st.Squashed++
+		s.st.PerThread[t].Squashed++
+	}
+	for _, q := range s.iqs {
+		q.DropSquashed()
+	}
+	// Front end buffers.
+	s.fetchBuf = squashFilter(s.fetchBuf, t, u.GSeq, ts, s.st)
+	s.frontPipe = squashFilter(s.frontPipe, t, u.GSeq, ts, s.st)
+
+	s.fe.Recover(t, u.Info, &u.Instruction, u.NextPC())
+	ts.predictStallUntil = s.now + uint64(penalty)
+	if ts.icacheBlockedUntil > s.now {
+		// A wrong-path I-miss no longer blocks the thread.
+		ts.icacheBlockedUntil = s.now
+	}
+}
+
+func squashFilter(buf []*pipeline.UOp, t int, gseq uint64, ts *threadState, st *stats.Stats) []*pipeline.UOp {
+	out := buf[:0]
+	for _, v := range buf {
+		if v.Thread == t && v.GSeq > gseq && !v.Squashed {
+			v.Squashed = true
+			if v.InICount {
+				v.InICount = false
+				ts.icount--
+			}
+			st.Squashed++
+			st.PerThread[t].Squashed++
+			continue
+		}
+		out = append(out, v)
+	}
+	for i := len(out); i < len(buf); i++ {
+		buf[i] = nil
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+// Package fetch implements the decoupled SMT front-end that is the paper's
+// subject: a prediction stage that forms fetch blocks (one per selected
+// thread per cycle) and pushes them into per-thread fetch target queues,
+// for three interchangeable fetch engines:
+//
+//   - gshare+BTB: the baseline. One direction prediction per cycle, so
+//     fetch blocks end at the first branch — about one basic block.
+//   - gskew+FTB: fetch blocks end at the first ever-taken branch; embedded
+//     never-taken branches are spanned. Directions come from a gskew
+//     majority-vote predictor.
+//   - stream: a two-level stream predictor supplies whole instruction
+//     streams (taken-target to next taken branch).
+//
+// The front-end is trace-driven with wrong-path execution: each thread has
+// a committed-path Stream, and on a misprediction the front-end walks a
+// ghost Stream along the predicted path until the branch resolves, exactly
+// like SMTSIM's basic-block-dictionary approach.
+package fetch
+
+import (
+	"fmt"
+
+	"smtfetch/internal/bpred"
+	"smtfetch/internal/config"
+	"smtfetch/internal/ftq"
+	"smtfetch/internal/isa"
+	"smtfetch/internal/prog"
+	"smtfetch/internal/rng"
+)
+
+// maxBlock bounds any fetch block's length in instructions.
+const maxBlock = bpred.MaxStreamLen
+
+// threadFE is the per-thread front-end state.
+type threadFE struct {
+	id    int
+	prog  *prog.Program
+	trace *prog.Stream
+	ghost *prog.Stream
+	seedR *rng.Rand
+
+	// wrongPath is set between a mispredicted trace branch and its
+	// resolution; while set, blocks are formed from the ghost stream.
+	wrongPath bool
+	// nextPC is the start address of the next fetch block.
+	nextPC isa.Addr
+
+	ghr  uint64
+	ras  *bpred.RAS
+	path bpred.PathHistory
+
+	queue *ftq.Queue
+}
+
+// FrontEnd owns the prediction stage: shared predictor tables plus
+// per-thread state and FTQs.
+type FrontEnd struct {
+	cfg    *config.Config
+	engine config.Engine
+
+	// Shared tables (one fetch unit, shared among threads, as in the
+	// paper).
+	gshare *bpred.GShare
+	gskew  *bpred.GSkew
+	btb    *bpred.BTB
+	ftb    *bpred.FTB
+	stream *bpred.StreamPredictor
+
+	threads []*threadFE
+
+	// Predictions / DirMispredicts count terminating conditional
+	// direction predictions on the committed path, at prediction time.
+	Predictions uint64
+}
+
+// New builds a front-end for the given programs (one per thread).
+func New(cfg *config.Config, programs []*prog.Program, seed uint64) *FrontEnd {
+	f := &FrontEnd{cfg: cfg, engine: cfg.Engine}
+	switch cfg.Engine {
+	case config.GShareBTB:
+		f.gshare = bpred.NewGShare(cfg.GShareEntries, cfg.GShareHistoryBits)
+		f.btb = bpred.NewBTB(cfg.BTBEntries, cfg.BTBAssoc)
+	case config.GSkewFTB:
+		f.gskew = bpred.NewGSkew(cfg.GSkewEntries, cfg.GSkewHistoryBits)
+		f.ftb = bpred.NewFTB(cfg.BTBEntries, cfg.BTBAssoc)
+	case config.StreamFetch:
+		f.stream = bpred.NewStreamPredictor(
+			cfg.StreamL1Entries, cfg.StreamL1Assoc,
+			cfg.StreamL2Entries, cfg.StreamL2Assoc,
+			bpred.DOLC{Depth: cfg.DOLCDepth, Older: cfg.DOLCOlder, Last: cfg.DOLCLast, Current: cfg.DOLCCurrent})
+	}
+	st := seed
+	for i, p := range programs {
+		tseed := rng.SplitMix64(&st)
+		t := &threadFE{
+			id:    i,
+			prog:  p,
+			trace: p.NewStream(tseed),
+			seedR: rng.New(tseed ^ 0x60057),
+			ras:   bpred.NewRAS(cfg.RASEntries),
+			queue: ftq.New(cfg.FTQSize),
+		}
+		t.nextPC = t.trace.PC()
+		f.threads = append(f.threads, t)
+	}
+	return f
+}
+
+// Queue returns thread t's FTQ.
+func (f *FrontEnd) Queue(t int) *ftq.Queue { return f.threads[t].queue }
+
+// CanPredict reports whether a prediction can be made for thread t (its
+// FTQ has room).
+func (f *FrontEnd) CanPredict(t int) bool { return !f.threads[t].queue.Full() }
+
+// Predict forms one fetch block for thread t and pushes it into the
+// thread's FTQ, returning the pushed request (nil if none was produced).
+func (f *FrontEnd) Predict(t int) *ftq.Request {
+	tf := f.threads[t]
+	if tf.queue.Full() {
+		return nil
+	}
+	var req *ftq.Request
+	switch f.engine {
+	case config.GShareBTB:
+		req = f.predictBTB(tf)
+	case config.GSkewFTB:
+		req = f.predictFTB(tf)
+	default:
+		req = f.predictStream(tf)
+	}
+	if req == nil || len(req.Instrs) == 0 {
+		return nil
+	}
+	tf.queue.Push(req)
+	return req
+}
+
+// source returns the stream blocks are currently formed from.
+func (tf *threadFE) source() *prog.Stream {
+	if tf.wrongPath {
+		return tf.ghost
+	}
+	return tf.trace
+}
+
+// enterWrongPath switches the thread onto a ghost stream starting at pc.
+func (tf *threadFE) enterWrongPath(pc isa.Addr, p *prog.Stream) {
+	tf.wrongPath = true
+	tf.ghost = p
+	tf.nextPC = pc
+}
+
+// ghostAt positions (or creates) the thread's ghost stream at pc. The
+// ghost is reused across wrong paths to avoid per-misprediction allocation.
+func (f *FrontEnd) ghostAt(tf *threadFE, pc isa.Addr) *prog.Stream {
+	if tf.ghost == nil {
+		tf.ghost = tf.prog.NewStreamAt(tf.seedR.Uint64(), pc)
+	} else {
+		tf.ghost.Redirect(pc)
+	}
+	return tf.ghost
+}
+
+// Recover squashes thread t's front-end after the branch carrying info
+// resolved: the FTQ is cleared, speculative predictor state is restored and
+// corrected with the actual outcome, and fetching resumes at nextPC.
+func (f *FrontEnd) Recover(t int, info *ftq.BranchInfo, actual *isa.Instruction, nextPC isa.Addr) {
+	tf := f.threads[t]
+	tf.queue.Clear()
+	tf.wrongPath = false
+	tf.nextPC = nextPC
+
+	// Restore speculative state to the checkpoint, then apply the actual
+	// outcome.
+	tf.ghr = info.GHR
+	tf.ras.Restore(info.RASCp)
+	tf.path = info.PathCp
+	if actual.IsBranch() {
+		switch actual.BrKind {
+		case isa.CondBranch:
+			tf.ghr = tf.ghr<<1 | b2u(actual.Taken)
+		case isa.Call:
+			tf.ras.Push(actual.FallThrough)
+		case isa.Return:
+			tf.ras.Pop()
+		}
+		if actual.Taken {
+			tf.path.Push(actual.Target)
+		}
+	}
+	if !tf.wrongPath && tf.trace.PC() != nextPC {
+		// The trace cursor must already sit at the correct-path
+		// successor of the resolved branch; anything else is a
+		// simulator bug worth failing loudly on.
+		panic(fmt.Sprintf("fetch: thread %d recovery to %#x but trace at %#x", t, nextPC, tf.trace.PC()))
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CommitBranch trains the predictor tables with a committed branch (or a
+// committed block terminator that turned out not to be a branch). in is the
+// committed instruction, info its prediction metadata (may be nil for
+// branches the front-end never predicted explicitly, e.g. embedded
+// never-taken branches).
+func (f *FrontEnd) CommitBranch(t int, in *isa.Instruction, info *ftq.BranchInfo) {
+	switch f.engine {
+	case config.GShareBTB:
+		if in.BrKind == isa.CondBranch && info != nil {
+			f.gshare.Update(in.PC, info.GHR, in.Taken)
+		}
+		if in.IsBranch() && in.Taken {
+			f.btb.Insert(in.PC, bpred.BTBEntry{Kind: in.BrKind, Target: in.Target})
+		}
+	case config.GSkewFTB:
+		if in.BrKind == isa.CondBranch && info != nil {
+			f.gskew.Update(in.PC, info.GHR, in.Taken)
+		}
+		if info == nil {
+			return
+		}
+		if in.IsBranch() && in.Taken {
+			f.ftb.Train(info.BlockStart, info.BlockInstrs, in.BrKind, in.Target)
+			f.ftb.TakenReset(info.BlockStart)
+		} else if in.BrKind == isa.CondBranch && !in.Taken && info.PredTaken {
+			// The entry's terminating branch fell through.
+			f.ftb.Fallthrough(info.BlockStart)
+		}
+	default:
+		if info == nil {
+			return
+		}
+		if in.IsBranch() && in.Taken {
+			path := info.PathCp
+			f.stream.Train(info.BlockStart, &path, bpred.StreamPrediction{
+				Length:       info.BlockInstrs,
+				Next:         in.Target,
+				EndsInReturn: in.BrKind == isa.Return,
+				EndsInCall:   in.BrKind == isa.Call,
+			})
+		}
+	}
+}
+
+// TableStats exposes predictor-structure statistics for reports.
+func (f *FrontEnd) TableStats() string {
+	switch f.engine {
+	case config.GShareBTB:
+		return fmt.Sprintf("BTB hit %.4f", f.btb.HitRate())
+	case config.GSkewFTB:
+		return fmt.Sprintf("FTB hit %.4f", f.ftb.HitRate())
+	default:
+		return fmt.Sprintf("stream hit %.4f", f.stream.HitRate())
+	}
+}

@@ -1,0 +1,37 @@
+package fetch
+
+import (
+	"sort"
+
+	"smtfetch/internal/config"
+)
+
+// Prioritize orders the eligible threads by fetch-policy priority and
+// returns at most max of them. For ICOUNT, threads with the fewest
+// instructions in the pre-issue stages come first (ties broken by thread id
+// rotated by the cycle to avoid systematic bias). For Round-Robin the
+// rotation alone decides.
+//
+// Both the prediction stage (choosing which thread gets the predictor this
+// cycle) and the fetch stage (choosing which FTQs drive the I-cache) use
+// this ordering, as in the paper.
+func Prioritize(policy config.Policy, icounts []int, eligible func(t int) bool, cycle uint64, max int) []int {
+	n := len(icounts)
+	cands := make([]int, 0, n)
+	rot := int(cycle % uint64(n))
+	for i := 0; i < n; i++ {
+		t := (i + rot) % n
+		if eligible(t) {
+			cands = append(cands, t)
+		}
+	}
+	if policy == config.ICount {
+		sort.SliceStable(cands, func(a, b int) bool {
+			return icounts[cands[a]] < icounts[cands[b]]
+		})
+	}
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	return cands
+}

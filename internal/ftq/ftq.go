@@ -1,0 +1,132 @@
+// Package ftq implements the fetch target queue of the decoupled front-end
+// and the fetch-request descriptors that flow through it. The prediction
+// stage pushes one fetch block per cycle into the selected thread's FTQ;
+// the fetch stage drains FTQs to drive I-cache accesses (Reinman et al.,
+// adopted for SMT by the paper).
+package ftq
+
+import (
+	"smtfetch/internal/bpred"
+	"smtfetch/internal/isa"
+)
+
+// ResolveStage says where a branch's (mis)prediction is detected.
+type ResolveStage uint8
+
+const (
+	// ResolveNone marks correctly-predicted branches.
+	ResolveNone ResolveStage = iota
+	// ResolveDecode marks misfetches: the target structure missed but
+	// decode can compute the correct target (direct jumps/calls).
+	ResolveDecode
+	// ResolveExecute marks true mispredictions: wrong conditional
+	// direction, wrong indirect target, wrong return address.
+	ResolveExecute
+)
+
+// BranchInfo carries per-branch prediction metadata from the prediction
+// stage to resolution (decode/execute) and training (commit).
+type BranchInfo struct {
+	// PredTaken / PredTarget are the front-end's prediction.
+	PredTaken  bool
+	PredTarget isa.Addr
+	// Resolve says where a wrong prediction is detected; ResolveNone for
+	// correct predictions.
+	Resolve ResolveStage
+
+	// GHR is the global history the direction prediction used (training
+	// key, and restored on recovery).
+	GHR uint64
+	// RASCp / PathCp checkpoint the RAS and path history just before this
+	// branch's speculative update, for recovery.
+	RASCp  bpred.RASCheckpoint
+	PathCp bpred.PathHistory
+	// BlockStart is the fetch block's start address (FTB/stream training
+	// key).
+	BlockStart isa.Addr
+	// BlockInstrs is the branch's position in its fetch block, in
+	// instructions, terminator included (FTB/stream training payload).
+	BlockInstrs int
+	// StreamPredicted marks blocks the stream predictor supplied (vs the
+	// sequential fallback); used for stream accuracy accounting.
+	StreamPredicted bool
+	// UsedRAS marks return predictions taken from the RAS.
+	UsedRAS bool
+}
+
+// Request is one fetch block: a unit of prediction holding the actual
+// instructions on the (possibly wrong) predicted path. The fetch stage may
+// take several cycles to drain one request if the block is longer than the
+// fetch width.
+type Request struct {
+	Thread int
+	Start  isa.Addr
+	// Instrs is the block content; Branch[i] is non-nil for control
+	// instructions carrying prediction metadata.
+	Instrs []isa.Instruction
+	Branch []*BranchInfo
+	// WrongPath marks blocks generated while the thread was known (to the
+	// simulator, not the hardware) to be on a wrong path.
+	WrongPath bool
+	// Consumed counts instructions already delivered to the fetch buffer.
+	Consumed int
+}
+
+// Remaining returns the number of instructions not yet delivered.
+func (r *Request) Remaining() int { return len(r.Instrs) - r.Consumed }
+
+// NextPC returns the address of the next undelivered instruction.
+func (r *Request) NextPC() isa.Addr {
+	return r.Instrs[r.Consumed].PC
+}
+
+// Queue is one thread's fetch target queue: a bounded FIFO of requests.
+type Queue struct {
+	cap  int
+	reqs []*Request
+}
+
+// New returns an empty FTQ with the given capacity (Table 3: 4 entries).
+func New(capacity int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue{cap: capacity}
+}
+
+// Cap returns the queue capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Len returns the number of queued requests.
+func (q *Queue) Len() int { return len(q.reqs) }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return len(q.reqs) >= q.cap }
+
+// Push appends a request; it reports false if the queue is full.
+func (q *Queue) Push(r *Request) bool {
+	if q.Full() {
+		return false
+	}
+	q.reqs = append(q.reqs, r)
+	return true
+}
+
+// Head returns the oldest request, or nil when empty.
+func (q *Queue) Head() *Request {
+	if len(q.reqs) == 0 {
+		return nil
+	}
+	return q.reqs[0]
+}
+
+// PopHead removes the oldest request (after the fetch stage fully consumed
+// it).
+func (q *Queue) PopHead() {
+	if len(q.reqs) > 0 {
+		q.reqs = q.reqs[1:]
+	}
+}
+
+// Clear empties the queue (front-end squash).
+func (q *Queue) Clear() { q.reqs = q.reqs[:0] }

@@ -1,0 +1,163 @@
+// Package isa defines the dynamic instruction model shared by the synthetic
+// program generator (internal/prog) and the processor pipeline
+// (internal/core). It plays the role of the instruction-set layer of a
+// trace-driven simulator: each Instruction carries everything the timing
+// model needs (class, dependences, memory address, branch semantics) without
+// encoding real machine code.
+package isa
+
+import "fmt"
+
+// InstrSize is the size in bytes of every instruction, as on Alpha.
+const InstrSize = 4
+
+// Addr is a virtual address (instruction or data).
+type Addr uint64
+
+// Class enumerates instruction classes with distinct timing behaviour.
+type Class uint8
+
+const (
+	// IntALU is a single-cycle integer operation.
+	IntALU Class = iota
+	// IntMul is a multi-cycle integer multiply/divide.
+	IntMul
+	// Load reads memory through the data cache.
+	Load
+	// Store writes memory through the data cache.
+	Store
+	// FPOp is a floating-point operation (rare in SPECint).
+	FPOp
+	// Branch is any control-transfer instruction; see BranchKind.
+	Branch
+	numClasses
+)
+
+// NumClasses is the number of distinct instruction classes.
+const NumClasses = int(numClasses)
+
+// String returns a short mnemonic for the class.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "alu"
+	case IntMul:
+		return "mul"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case FPOp:
+		return "fp"
+	case Branch:
+		return "branch"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// BranchKind enumerates control-transfer kinds. The fetch engines treat them
+// differently: conditional branches need a direction prediction, returns use
+// the RAS, indirect jumps need a target prediction.
+type BranchKind uint8
+
+const (
+	// NotBranch marks non-control instructions.
+	NotBranch BranchKind = iota
+	// CondBranch is a conditional direct branch.
+	CondBranch
+	// Jump is an unconditional direct jump.
+	Jump
+	// Call is a direct call (pushes the return address).
+	Call
+	// Return pops the RAS.
+	Return
+	// IndirectJump is an unconditional indirect jump (switch tables etc.).
+	IndirectJump
+)
+
+// String returns a short mnemonic for the branch kind.
+func (k BranchKind) String() string {
+	switch k {
+	case NotBranch:
+		return "none"
+	case CondBranch:
+		return "cond"
+	case Jump:
+		return "jump"
+	case Call:
+		return "call"
+	case Return:
+		return "ret"
+	case IndirectJump:
+		return "ijump"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsBranch reports whether the kind is a control transfer.
+func (k BranchKind) IsBranch() bool { return k != NotBranch }
+
+// Instruction is one dynamic instruction. Register dependences are encoded
+// as distances in the per-thread dynamic instruction stream: a distance d>0
+// means "depends on the d-th previous instruction fetched on this thread
+// (wrong path included)". This avoids simulating an architectural register
+// file while preserving the dependence-chain shapes that determine ILP.
+type Instruction struct {
+	// PC is the instruction's address.
+	PC Addr
+	// PathSeq is the instruction's position in its source stream
+	// (per-thread path order); dependence distances are resolved
+	// against it.
+	PathSeq uint64
+	// Class determines execution latency and functional-unit needs.
+	Class Class
+	// Dep1, Dep2 are dependence distances (0 = no dependence).
+	Dep1, Dep2 uint16
+	// HasDest reports whether the instruction writes a register (consumes
+	// a physical register at rename).
+	HasDest bool
+
+	// EffAddr is the effective address for loads and stores.
+	EffAddr Addr
+
+	// Branch metadata (Class == Branch only).
+	BrKind BranchKind
+	// Taken is the resolved direction of the branch on this dynamic path.
+	Taken bool
+	// Target is the resolved target address when Taken (or for calls,
+	// jumps, returns, indirect jumps).
+	Target Addr
+	// FallThrough is PC + InstrSize, the not-taken successor.
+	FallThrough Addr
+}
+
+// IsBranch reports whether the instruction is a control transfer.
+func (in *Instruction) IsBranch() bool { return in.Class == Branch }
+
+// NextPC returns the address of the next dynamic instruction on this path.
+func (in *Instruction) NextPC() Addr {
+	if in.Class == Branch && in.Taken {
+		return in.Target
+	}
+	return in.PC + InstrSize
+}
+
+// LatencyTable gives the execution latency in cycles for each class.
+// Loads add cache access time on top of their pipeline latency.
+type LatencyTable [NumClasses]int
+
+// DefaultLatencies mirrors common SMTSIM-era settings: single-cycle ALU,
+// 3-cycle multiply, 1-cycle address generation for memory ops (cache time is
+// added separately), 4-cycle FP.
+func DefaultLatencies() LatencyTable {
+	var t LatencyTable
+	t[IntALU] = 1
+	t[IntMul] = 3
+	t[Load] = 1
+	t[Store] = 1
+	t[FPOp] = 4
+	t[Branch] = 1
+	return t
+}

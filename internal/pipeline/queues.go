@@ -1,0 +1,130 @@
+package pipeline
+
+// IssueQueue is one of the three shared instruction queues (int,
+// load/store, fp). Entries stay from dispatch until issue; because
+// dispatch is in order, the backing slice is age-ordered, which makes
+// oldest-first selection a linear scan.
+type IssueQueue struct {
+	cap     int
+	entries []*UOp
+}
+
+// NewIssueQueue returns an empty queue with the given capacity.
+func NewIssueQueue(capacity int) *IssueQueue {
+	return &IssueQueue{cap: capacity}
+}
+
+// Cap returns the queue capacity.
+func (q *IssueQueue) Cap() int { return q.cap }
+
+// Len returns the occupancy.
+func (q *IssueQueue) Len() int { return len(q.entries) }
+
+// LenOf returns the occupancy owned by thread t.
+func (q *IssueQueue) LenOf(t int) int {
+	n := 0
+	for _, u := range q.entries {
+		if u.Thread == t {
+			n++
+		}
+	}
+	return n
+}
+
+// Full reports whether the queue is at capacity.
+func (q *IssueQueue) Full() bool { return len(q.entries) >= q.cap }
+
+// Add dispatches u into the queue; it reports false when full.
+func (q *IssueQueue) Add(u *UOp) bool {
+	if q.Full() {
+		return false
+	}
+	q.entries = append(q.entries, u)
+	return true
+}
+
+// Scan calls fn on each entry oldest-first; fn returns true to remove the
+// entry (issued). Squashed entries are dropped during the scan.
+func (q *IssueQueue) Scan(fn func(u *UOp) bool) {
+	out := q.entries[:0]
+	for _, u := range q.entries {
+		if u.Squashed {
+			continue
+		}
+		if fn(u) {
+			continue
+		}
+		out = append(out, u)
+	}
+	// Clear the tail so removed uops don't leak.
+	for i := len(out); i < len(q.entries); i++ {
+		q.entries[i] = nil
+	}
+	q.entries = out
+}
+
+// DropSquashed removes squashed entries without issuing anything.
+func (q *IssueQueue) DropSquashed() {
+	q.Scan(func(*UOp) bool { return false })
+}
+
+// RegFile is a physical register free list (just a counter: the simulator
+// never tracks values).
+type RegFile struct {
+	total int
+	free  int
+}
+
+// NewRegFile returns a register file with n registers, of which `arch` are
+// considered permanently allocated as architectural state per thread.
+func NewRegFile(n, reserved int) *RegFile {
+	free := n - reserved
+	if free < 0 {
+		free = 0
+	}
+	return &RegFile{total: n, free: free}
+}
+
+// Free returns the number of allocatable registers.
+func (r *RegFile) Free() int { return r.free }
+
+// Alloc takes one register; it reports false when none are free.
+func (r *RegFile) Alloc() bool {
+	if r.free <= 0 {
+		return false
+	}
+	r.free--
+	return true
+}
+
+// Release returns one register to the free list.
+func (r *RegFile) Release() {
+	if r.free < r.total {
+		r.free++
+	}
+}
+
+// FUPool models a class of pipelined functional units as a per-cycle issue
+// budget.
+type FUPool struct {
+	count int
+	used  int
+	cycle uint64
+}
+
+// NewFUPool returns a pool of n units.
+func NewFUPool(n int) *FUPool { return &FUPool{count: n} }
+
+// TryIssue consumes one unit for the given cycle; it reports false when
+// all units are busy this cycle.
+func (p *FUPool) TryIssue(now uint64) bool {
+	if p.cycle != now {
+		p.cycle = now
+		p.used = 0
+	}
+	if p.used >= p.count {
+		return false
+	}
+	p.used++
+	return true
+}

@@ -1,0 +1,79 @@
+package pipeline
+
+// ROB is the shared reorder buffer: a single entry budget shared by all
+// threads (Table 3: 256 entries), with per-thread FIFO order. This sharing
+// is load-bearing for the paper's Figure 7 result: a stalled memory-bound
+// thread's entries are entries no other thread can use.
+type ROB struct {
+	cap   int
+	count int
+	// perThread[t] holds thread t's in-flight uops in program order.
+	perThread [][]*UOp
+}
+
+// NewROB returns an empty ROB with the given shared capacity and thread
+// count.
+func NewROB(capacity, threads int) *ROB {
+	return &ROB{cap: capacity, perThread: make([][]*UOp, threads)}
+}
+
+// Cap returns the shared capacity.
+func (r *ROB) Cap() int { return r.cap }
+
+// Len returns the total occupancy.
+func (r *ROB) Len() int { return r.count }
+
+// LenOf returns thread t's occupancy.
+func (r *ROB) LenOf(t int) int { return len(r.perThread[t]) }
+
+// Full reports whether no entry is free.
+func (r *ROB) Full() bool { return r.count >= r.cap }
+
+// Dispatch appends u to its thread's FIFO; it reports false when the
+// shared budget is exhausted.
+func (r *ROB) Dispatch(u *UOp) bool {
+	if r.count >= r.cap {
+		return false
+	}
+	r.perThread[u.Thread] = append(r.perThread[u.Thread], u)
+	r.count++
+	return true
+}
+
+// Head returns thread t's oldest in-flight uop, or nil.
+func (r *ROB) Head(t int) *UOp {
+	q := r.perThread[t]
+	if len(q) == 0 {
+		return nil
+	}
+	return q[0]
+}
+
+// PopHead removes thread t's oldest uop (commit).
+func (r *ROB) PopHead(t int) {
+	q := r.perThread[t]
+	if len(q) == 0 {
+		return
+	}
+	copy(q, q[1:])
+	r.perThread[t] = q[:len(q)-1]
+	r.count--
+}
+
+// SquashYounger removes and returns all thread-t uops younger than gseq
+// (strictly greater), marking them squashed.
+func (r *ROB) SquashYounger(t int, gseq uint64) []*UOp {
+	q := r.perThread[t]
+	// Entries are age-ordered; find the first younger one.
+	i := len(q)
+	for i > 0 && q[i-1].GSeq > gseq {
+		i--
+	}
+	squashed := q[i:]
+	for _, u := range squashed {
+		u.Squashed = true
+	}
+	r.count -= len(squashed)
+	r.perThread[t] = q[:i]
+	return squashed
+}

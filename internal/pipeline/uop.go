@@ -1,0 +1,73 @@
+// Package pipeline provides the out-of-order back-end structures shared by
+// all SMT threads: the micro-op record, the shared reorder buffer with
+// per-thread ordering, the issue queues, physical register free lists, and
+// functional-unit pools. Table 3 sizes them: 256-entry ROB, 32-entry
+// int/ls/fp queues, 384+384 registers, 6 int / 4 ld-st / 3 fp units.
+package pipeline
+
+import (
+	"smtfetch/internal/ftq"
+	"smtfetch/internal/isa"
+)
+
+// UOp is one in-flight micro-op. It embeds the dynamic instruction and adds
+// the pipeline bookkeeping the simulator needs.
+type UOp struct {
+	isa.Instruction
+	// Info carries branch-prediction metadata (nil for most
+	// instructions).
+	Info *ftq.BranchInfo
+	// Thread is the hardware context id.
+	Thread int
+	// Ghost marks wrong-path micro-ops; they consume resources but are
+	// squashed rather than committed.
+	Ghost bool
+	// GSeq is a global, monotonically increasing age stamp; within a
+	// thread it follows program (path) order.
+	GSeq uint64
+	// PathSeq is the instruction's position in its source stream, used
+	// to resolve dependence distances.
+	PathSeq uint64
+
+	// FetchedAt is the cycle the uop entered the fetch buffer; EnterFront
+	// the cycle it left the fetch buffer into decode.
+	FetchedAt  uint64
+	EnterFront uint64
+	// DecodeAt is the cycle decode inspects the uop (misfetch recovery
+	// point).
+	DecodeAt uint64
+
+	// Dispatched/Issued/Done track back-end progress; ReadyAt is the
+	// cycle the result becomes available once issued.
+	Dispatched bool
+	Issued     bool
+	Done       bool
+	ReadyAt    uint64
+
+	// InICount marks uops currently counted by the ICOUNT policy.
+	InICount bool
+	// Squashed marks uops removed by misprediction recovery.
+	Squashed bool
+	// Recovered marks resolve-stage branches whose recovery already ran.
+	Recovered bool
+}
+
+// QueueKind maps an instruction class to its issue queue.
+func QueueKind(c isa.Class) int {
+	switch c {
+	case isa.Load, isa.Store:
+		return QLoadStore
+	case isa.FPOp:
+		return QFloat
+	default:
+		return QInt
+	}
+}
+
+// Issue-queue indices.
+const (
+	QInt = iota
+	QLoadStore
+	QFloat
+	NumQueues
+)

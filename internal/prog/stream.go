@@ -1,0 +1,267 @@
+package prog
+
+import (
+	"smtfetch/internal/isa"
+	"smtfetch/internal/rng"
+)
+
+// Stream walks a Program dynamically, producing one thread's instruction
+// trace. The committed path of a thread is one Stream; wrong paths are
+// separate Streams forked at the mispredicted target (the Program's static
+// CFG plays the role of SMTSIM's basic-block dictionary).
+//
+// Streams expose a lookahead interface: Peek(k) returns the k-th upcoming
+// instruction without consuming it, Advance(n) consumes n instructions.
+// Redirect(pc) repositions the stream (used on wrong paths, where the
+// front-end steers the walk along the predicted path).
+type Stream struct {
+	prog *Program
+	r    *rng.Rand
+
+	blk *Block
+	off int
+
+	// Dynamic per-static-object state.
+	loopCounts map[int]int
+	strideOffs map[int]uint64
+	callStack  []isa.Addr
+	// hist is the truth outcome history of conditional branches, consumed
+	// by correlated branch behaviours.
+	hist uint64
+	// sinceLoad counts instructions since the last load, for
+	// pointer-chase dependence distances.
+	sinceLoad int
+
+	// buf is the lookahead buffer; buf[head:] are pending instructions.
+	buf  []isa.Instruction
+	head int
+
+	// Generated counts instructions produced since creation.
+	Generated uint64
+	// TakenBranches / Branches count dynamic control-flow statistics.
+	Branches      uint64
+	TakenBranches uint64
+}
+
+// maxCallStack bounds the modelled call depth; deeper calls drop the oldest
+// frame, like a real RAS would wrap.
+const maxCallStack = 256
+
+// NewStream returns a Stream positioned at the program entry.
+func (p *Program) NewStream(seed uint64) *Stream {
+	return p.newStream(seed, p.Entry())
+}
+
+// NewStreamAt returns a Stream positioned at pc, used for wrong-path
+// generation. Its dynamic state (loop counters, call stack, history) starts
+// empty: a wrong path has no meaningful architectural state.
+func (p *Program) NewStreamAt(seed uint64, pc isa.Addr) *Stream {
+	return p.newStream(seed, pc)
+}
+
+func (p *Program) newStream(seed uint64, pc isa.Addr) *Stream {
+	s := &Stream{
+		prog:       p,
+		r:          rng.New(seed ^ 0x5EED_57EA),
+		loopCounts: make(map[int]int),
+		strideOffs: make(map[int]uint64),
+	}
+	s.blk, s.off = p.BlockAt(pc)
+	return s
+}
+
+// Peek returns the k-th upcoming instruction (k=0 is next). The returned
+// pointer is valid until the next Advance/Redirect.
+func (s *Stream) Peek(k int) *isa.Instruction {
+	for len(s.buf)-s.head <= k {
+		s.buf = append(s.buf, s.gen())
+	}
+	return &s.buf[s.head+k]
+}
+
+// PC returns the address of the next instruction.
+func (s *Stream) PC() isa.Addr { return s.Peek(0).PC }
+
+// Advance consumes n instructions.
+func (s *Stream) Advance(n int) {
+	for len(s.buf)-s.head < n {
+		s.buf = append(s.buf, s.gen())
+	}
+	s.head += n
+	// Compact the buffer occasionally to bound growth.
+	if s.head >= 4096 {
+		s.buf = append(s.buf[:0], s.buf[s.head:]...)
+		s.head = 0
+	}
+}
+
+// Redirect repositions the stream at pc, discarding buffered lookahead.
+// Wrong-path streams are redirected to follow the predicted path after
+// every predicted branch.
+func (s *Stream) Redirect(pc isa.Addr) {
+	s.buf = s.buf[:0]
+	s.head = 0
+	s.blk, s.off = s.prog.BlockAt(pc)
+}
+
+// gen materializes the next instruction at the walk position and advances
+// the position.
+func (s *Stream) gen() isa.Instruction {
+	b := s.blk
+	s.Generated++
+	s.sinceLoad++
+	if s.off < len(b.body) {
+		si := &b.body[s.off]
+		in := isa.Instruction{
+			PC:      b.addr + isa.Addr(s.off*isa.InstrSize),
+			PathSeq: s.Generated,
+			Class:   si.class,
+			Dep1:    si.dep1,
+			Dep2:    si.dep2,
+			HasDest: si.hasDest,
+		}
+		if si.mem != nil {
+			in.EffAddr = s.memAddr(si)
+			if si.mem.chase && s.sinceLoad < 48 {
+				// Pointer chase: address depends on the previous load.
+				in.Dep1 = uint16(s.sinceLoad)
+			}
+		}
+		if si.class == isa.Load {
+			s.sinceLoad = 0
+		}
+		s.off++
+		return in
+	}
+
+	// Terminator.
+	t := &b.term
+	pc := b.TermPC()
+	in := isa.Instruction{
+		PC:          pc,
+		PathSeq:     s.Generated,
+		Class:       isa.Branch,
+		BrKind:      t.kind,
+		Dep1:        t.dep1,
+		FallThrough: pc + isa.InstrSize,
+	}
+	s.Branches++
+	var nextBlk *Block
+	switch t.kind {
+	case isa.CondBranch:
+		in.Taken = s.condOutcome(t)
+		s.hist = s.hist<<1 | boolBit(in.Taken)
+		if in.Taken {
+			nextBlk = s.prog.blocks[t.target]
+			in.Target = nextBlk.addr
+		} else {
+			nextBlk = s.prog.blocks[b.next]
+		}
+	case isa.Jump:
+		in.Taken = true
+		nextBlk = s.prog.blocks[t.target]
+		in.Target = nextBlk.addr
+	case isa.Call:
+		in.Taken = true
+		in.HasDest = true // writes the return-address register
+		nextBlk = s.prog.blocks[t.target]
+		in.Target = nextBlk.addr
+		ra := in.FallThrough
+		if len(s.callStack) >= maxCallStack {
+			copy(s.callStack, s.callStack[1:])
+			s.callStack = s.callStack[:len(s.callStack)-1]
+		}
+		s.callStack = append(s.callStack, ra)
+	case isa.Return:
+		in.Taken = true
+		var ra isa.Addr
+		if n := len(s.callStack); n > 0 {
+			ra = s.callStack[n-1]
+			s.callStack = s.callStack[:n-1]
+		} else {
+			// Empty call stack: the walk restarts in a random hot
+			// function (the synthetic equivalent of the benchmark's
+			// main loop dispatching new work).
+			e := s.prog.entries[s.r.Intn(s.prog.hotEntries)]
+			ra = s.prog.blocks[e].addr
+		}
+		in.Target = ra
+		nb, _ := s.prog.BlockAt(ra)
+		nextBlk = nb
+		// Reposition precisely (the return address may be mid-block
+		// only when the fallback target was used; BlockAt handles it).
+		s.blk = nextBlk
+		s.off = int((ra - nextBlk.addr) / isa.InstrSize)
+		if s.off >= nextBlk.Len() {
+			s.off = 0
+		}
+		if in.Taken {
+			s.TakenBranches++
+		}
+		return in
+	case isa.IndirectJump:
+		in.Taken = true
+		i := s.r.Pick(t.indirectWeights)
+		nextBlk = s.prog.blocks[t.indirectTargets[i]]
+		in.Target = nextBlk.addr
+	}
+	if in.Taken {
+		s.TakenBranches++
+	}
+	s.blk = nextBlk
+	s.off = 0
+	return in
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// condOutcome evaluates a conditional branch's synthetic behaviour.
+func (s *Stream) condOutcome(t *terminator) bool {
+	switch t.class {
+	case brLoop:
+		c := s.loopCounts[t.id]
+		taken := c < t.tripCount-1
+		if taken {
+			s.loopCounts[t.id] = c + 1
+		} else {
+			s.loopCounts[t.id] = 0
+		}
+		return taken
+	case brCorrelated:
+		out := popcount(s.hist&t.histMask)&1 == 1
+		if s.r.Bool(t.noise) {
+			out = !out
+		}
+		return out
+	default: // brBiased
+		return s.r.Bool(t.pTaken)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// memAddr computes the next effective address for a static memory
+// instruction.
+func (s *Stream) memAddr(si *staticInstr) isa.Addr {
+	g := si.mem
+	switch g.kind {
+	case memStride:
+		off := s.strideOffs[si.id]
+		s.strideOffs[si.id] = off + g.stride
+		return isa.Addr(g.base + off%g.size)
+	default: // memRandom
+		return isa.Addr(g.base + uint64(s.r.Int63n(int64(g.size)))&^7)
+	}
+}

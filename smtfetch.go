@@ -1,0 +1,204 @@
+// Package smtfetch is a cycle-level simulator of simultaneous
+// multithreading (SMT) fetch architectures, reproducing "A Low-Complexity,
+// High-Performance Fetch Unit for Simultaneous Multithreading Processors"
+// (Falcón, Ramirez, Valero — HPCA 2004).
+//
+// It models an 8-context SMT processor with a decoupled front-end (branch
+// predictor -> per-thread fetch target queues -> fetch unit) and a shared
+// out-of-order back-end, and lets you combine:
+//
+//   - three fetch engines: gshare+BTB (baseline), gskew+FTB, and the
+//     stream fetch unit;
+//   - fetch policies ICOUNT.T.W / RR.T.W — up to W instructions from up to
+//     T threads per cycle (the paper studies 1.8, 2.8, 1.16, 2.16);
+//   - the paper's SPECint2000 workloads (Table 2), modelled synthetically.
+//
+// Quick start:
+//
+//	res, err := smtfetch.Run(smtfetch.Options{
+//		Workload: "2_MIX",
+//		Engine:   smtfetch.StreamFetch,
+//		Policy:   smtfetch.ICount116,
+//	})
+//	fmt.Printf("IPC %.2f, IPFC %.2f\n", res.IPC, res.IPFC)
+package smtfetch
+
+import (
+	"fmt"
+
+	"smtfetch/internal/bench"
+	"smtfetch/internal/config"
+	"smtfetch/internal/core"
+	"smtfetch/internal/prog"
+	"smtfetch/internal/rng"
+	"smtfetch/internal/stats"
+)
+
+// Re-exported fetch-engine selectors.
+const (
+	GShareBTB   = config.GShareBTB
+	GSkewFTB    = config.GSkewFTB
+	StreamFetch = config.StreamFetch
+)
+
+// Engine selects the fetch engine; see the config package for values.
+type Engine = config.Engine
+
+// FetchPolicy is the paper's POLICY.T.W notation.
+type FetchPolicy = config.FetchPolicy
+
+// The fetch policies the paper evaluates.
+var (
+	ICount18  = config.ICount18
+	ICount28  = config.ICount28
+	ICount116 = config.ICount116
+	ICount216 = config.ICount216
+)
+
+// MachineConfig is the full Table 3 machine description.
+type MachineConfig = config.Config
+
+// DefaultMachine returns the Table 3 configuration.
+func DefaultMachine() MachineConfig { return config.Default() }
+
+// Options selects what to simulate.
+type Options struct {
+	// Workload is a Table 2 workload name ("2_MIX", "4_ILP", ...).
+	// Alternatively set Benchmarks explicitly.
+	Workload string
+	// Benchmarks lists per-thread benchmark names; it overrides Workload.
+	Benchmarks []string
+	// Engine is the fetch engine (default GShareBTB).
+	Engine Engine
+	// Policy is the fetch policy (default ICOUNT.1.8).
+	Policy FetchPolicy
+	// Machine overrides the default machine configuration when non-nil.
+	Machine *MachineConfig
+	// Seed makes runs reproducible; 0 means a fixed default seed.
+	Seed uint64
+	// WarmupInstrs are committed before statistics are reset
+	// (default 200k).
+	WarmupInstrs uint64
+	// MeasureInstrs are committed during measurement (default 1M).
+	MeasureInstrs uint64
+	// MaxCycles bounds each phase (default 50M).
+	MaxCycles uint64
+}
+
+func (o *Options) fill() error {
+	if o.Policy.Width == 0 {
+		o.Policy = ICount18
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5317_F37C
+	}
+	if o.WarmupInstrs == 0 {
+		o.WarmupInstrs = 200_000
+	}
+	if o.MeasureInstrs == 0 {
+		o.MeasureInstrs = 1_000_000
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50_000_000
+	}
+	if len(o.Benchmarks) == 0 {
+		if o.Workload == "" {
+			return fmt.Errorf("smtfetch: Options needs Workload or Benchmarks")
+		}
+		w, err := bench.WorkloadByName(o.Workload)
+		if err != nil {
+			return err
+		}
+		o.Benchmarks = w.Benchmarks
+	}
+	return nil
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	// IPC is committed instructions per cycle (the paper's "Commit
+	// Throughput").
+	IPC float64
+	// IPFC is instructions per fetch cycle (the paper's "Fetch
+	// Throughput").
+	IPFC float64
+	// CondAccuracy is committed-path conditional branch prediction
+	// accuracy.
+	CondAccuracy float64
+	// Stats exposes all raw counters.
+	Stats *stats.Stats
+}
+
+// Simulator is a configured simulation instance for callers that need
+// cycle-level control; most callers can use Run.
+type Simulator struct {
+	sim  *core.Sim
+	opts Options
+}
+
+// New builds a Simulator from options.
+func New(opts Options) (*Simulator, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	mc := config.Default()
+	if opts.Machine != nil {
+		mc = *opts.Machine
+	}
+	mc.Engine = opts.Engine
+	mc.FetchPolicy = opts.Policy
+
+	st := opts.Seed
+	programs := make([]*prog.Program, len(opts.Benchmarks))
+	for i, name := range opts.Benchmarks {
+		p, err := bench.Profile(name)
+		if err != nil {
+			return nil, err
+		}
+		programs[i] = prog.Build(p, rng.SplitMix64(&st))
+	}
+	sim, err := core.New(mc, programs, rng.SplitMix64(&st))
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{sim: sim, opts: opts}, nil
+}
+
+// Core exposes the underlying cycle-level simulator.
+func (s *Simulator) Core() *core.Sim { return s.sim }
+
+// Run executes warm-up then measurement and returns the result.
+func (s *Simulator) Run() *Result {
+	s.sim.Run(s.opts.WarmupInstrs, s.opts.MaxCycles)
+	s.sim.ResetStats()
+	st := s.sim.Run(s.opts.MeasureInstrs, s.opts.MaxCycles)
+	return &Result{
+		IPC:          st.IPC(),
+		IPFC:         st.IPFC(),
+		CondAccuracy: st.CondAccuracy(),
+		Stats:        st,
+	}
+}
+
+// Run is the one-call API: build a simulator from opts, run it, and return
+// the result.
+func Run(opts Options) (*Result, error) {
+	s, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// Workloads returns the Table 2 workload names in paper order.
+func Workloads() []string {
+	ws := bench.Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}
+
+// Benchmarks returns the SPECint2000 benchmark names.
+func Benchmarks() []string { return bench.Names() }
