@@ -1,0 +1,285 @@
+// Command smtfetch is the experiment driver for the SMT fetch-unit study:
+//
+//	smtfetch run     -workload 2_MIX -engine stream -policy ICOUNT.1.16
+//	smtfetch sweep   -workloads 2_MIX,4_MIX -jobs 8 -o results.json
+//	smtfetch list
+//	smtfetch compare old.json new.json -tol 0.02
+//
+// `sweep` runs the engine×policy×workload×seed grid on a bounded worker
+// pool and writes deterministically ordered JSON; `compare` diffs two such
+// files and exits non-zero on IPC regressions beyond the tolerance, which
+// makes it usable as a CI perf gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smtfetch"
+	"smtfetch/internal/bench"
+	"smtfetch/internal/experiment"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "smtfetch: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtfetch:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: smtfetch <command> [flags]
+
+commands:
+  run      simulate a single cell and print its result
+  sweep    run an engine x policy x workload x seed grid in parallel
+  list     print the available engines, policies, workloads, benchmarks
+  compare  diff two sweep results files and flag IPC regressions
+
+run 'smtfetch <command> -h' for command flags.
+`)
+}
+
+// simFlags registers the phase-length flags shared by run and sweep.
+func simFlags(fs *flag.FlagSet) (warmup, measure, maxCycles *uint64) {
+	warmup = fs.Uint64("warmup", 0, "warm-up instructions per cell (0 = default 200k)")
+	measure = fs.Uint64("measure", 0, "measured instructions per cell (0 = default 1M)")
+	maxCycles = fs.Uint64("maxcycles", 0, "cycle bound per phase (0 = default 50M)")
+	return
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workload := fs.String("workload", "2_MIX", "Table 2 workload name")
+	benchmarks := fs.String("benchmarks", "", "comma-separated per-thread benchmarks (overrides -workload)")
+	engine := fs.String("engine", "gshare+BTB", "fetch engine")
+	policy := fs.String("policy", "ICOUNT.1.8", "fetch policy (POLICY.T.W)")
+	seed := fs.Uint64("seed", 1, "replication seed, matching sweep's -seeds axis")
+	asJSON := fs.Bool("json", false, "emit the full stats snapshot as JSON")
+	warmup, measure, maxCycles := simFlags(fs)
+	fs.Parse(args)
+
+	eng, err := smtfetch.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	pol, err := smtfetch.ParseFetchPolicy(*policy)
+	if err != nil {
+		return err
+	}
+	// Label custom benchmark mixes distinctly so their results never match
+	// a real workload cell's key in compare/merge.
+	label := *workload
+	if *benchmarks != "" {
+		label = "custom:" + strings.Join(splitList(*benchmarks), "+")
+	}
+	// Derive the simulator seed exactly as a sweep would for this cell, so
+	// `run -json` output is cell-for-cell comparable with sweep output.
+	cell := experiment.Cell{Workload: label, Engine: eng, Policy: pol, Seed: *seed}
+	opts := smtfetch.Options{
+		Workload:      *workload,
+		Engine:        eng,
+		Policy:        pol,
+		Seed:          experiment.CellSeed(cell),
+		WarmupInstrs:  *warmup,
+		MeasureInstrs: *measure,
+		MaxCycles:     *maxCycles,
+	}
+	if *benchmarks != "" {
+		opts.Workload = ""
+		opts.Benchmarks = splitList(*benchmarks)
+	}
+	res, err := smtfetch.Run(opts)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		snap := res.Stats.Snapshot()
+		r := experiment.Result{
+			Workload: label, Engine: eng.String(), Policy: pol.String(), Seed: *seed,
+			IPC: res.IPC, IPFC: res.IPFC, CondAccuracy: res.CondAccuracy, Stats: &snap,
+		}
+		return experiment.WriteJSON(os.Stdout, []experiment.Result{r})
+	}
+	fmt.Printf("%s %s %s: IPC %.3f  IPFC %.3f  branch acc %.4f\n",
+		label, eng, pol, res.IPC, res.IPFC, res.CondAccuracy)
+	fmt.Print(res.Stats)
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	engines := fs.String("engines", "", "comma-separated engines (default: all three)")
+	policies := fs.String("policies", "", "comma-separated POLICY.T.W policies (default: the paper's four ICOUNT ones)")
+	workloads := fs.String("workloads", "", "comma-separated workloads (default: all of Table 2); -workload is an alias")
+	fs.String("workload", "", "alias for -workloads")
+	seeds := fs.String("seeds", "", "comma-separated replication seeds (default: 1)")
+	jobs := fs.Int("jobs", 0, "parallel workers (0 = NumCPU)")
+	out := fs.String("o", "", "write results JSON to this file ('-' or empty = stdout)")
+	table := fs.Bool("table", true, "print the aligned result table to stderr")
+	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
+	warmup, measure, maxCycles := simFlags(fs)
+	fs.Parse(args)
+
+	sw := experiment.Sweep{
+		Jobs:          *jobs,
+		WarmupInstrs:  *warmup,
+		MeasureInstrs: *measure,
+		MaxCycles:     *maxCycles,
+	}
+	if *workloads == "" {
+		*workloads = fs.Lookup("workload").Value.String()
+	}
+	for _, s := range splitList(*engines) {
+		e, err := smtfetch.ParseEngine(s)
+		if err != nil {
+			return err
+		}
+		sw.Engines = append(sw.Engines, e)
+	}
+	for _, s := range splitList(*policies) {
+		p, err := smtfetch.ParseFetchPolicy(s)
+		if err != nil {
+			return err
+		}
+		sw.Policies = append(sw.Policies, p)
+	}
+	sw.Workloads = splitList(*workloads)
+	for _, s := range splitList(*seeds) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q: %w", s, err)
+		}
+		sw.Seeds = append(sw.Seeds, v)
+	}
+	if !*quiet {
+		sw.OnResult = func(done, total int, r experiment.Result) {
+			status := fmt.Sprintf("IPC %.3f", r.IPC)
+			if r.Error != "" {
+				status = "ERROR " + r.Error
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s: %s\n", done, total, r.Key(), status)
+		}
+	}
+
+	// Validate before touching the output file, then open it before
+	// running: a typo'd workload must not truncate an existing baseline,
+	// and an unwritable path must fail in milliseconds, not after a
+	// multi-hour grid.
+	if err := sw.Validate(); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	results, runErr := sw.Run()
+	if results != nil && *table {
+		fmt.Fprint(os.Stderr, experiment.Table(results))
+	}
+	if results != nil {
+		if err := experiment.WriteJSON(w, results); err != nil {
+			return err
+		}
+		if w != os.Stdout {
+			fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), *out)
+		}
+	}
+	return runErr
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	fs.Parse(args)
+
+	fmt.Println("engines:")
+	for _, e := range smtfetch.Engines() {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Println("policies (paper grid; RR.T.W variants also accepted):")
+	for _, p := range smtfetch.FetchPolicies() {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println("workloads:")
+	for _, w := range bench.Workloads() {
+		fmt.Printf("  %-6s %-4s %s\n", w.Name, w.Class(), strings.Join(w.Benchmarks, ","))
+	}
+	fmt.Println("benchmarks:")
+	for _, b := range bench.Names() {
+		cl, _ := bench.BenchClass(b)
+		fmt.Printf("  %-8s %s\n", b, cl)
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.02, "relative IPC drop tolerated before flagging a regression")
+	// Accept both "compare old new -tol x" and "compare -tol x old new".
+	var paths []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		paths = append(paths, args[0])
+		args = args[1:]
+	}
+	fs.Parse(args)
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 2 {
+		return fmt.Errorf("compare needs exactly two results files, got %d", len(paths))
+	}
+	oldRes, err := experiment.ReadJSONFile(paths[0])
+	if err != nil {
+		return err
+	}
+	newRes, err := experiment.ReadJSONFile(paths[1])
+	if err != nil {
+		return err
+	}
+	rep := experiment.Compare(oldRes, newRes, *tol)
+	fmt.Print(rep)
+	if rep.Regressions > 0 {
+		return fmt.Errorf("%d IPC regressions beyond %.1f%% tolerance", rep.Regressions, 100**tol)
+	}
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module smtfetch
+
+go 1.21

@@ -232,6 +232,28 @@ type Workload struct {
 // Threads returns the thread count.
 func (w Workload) Threads() int { return len(w.Benchmarks) }
 
+// Class returns the workload's Table 2 composition: "ILP" when every
+// benchmark is ILP, "MEM" when every benchmark is memory-bound, and "MIX"
+// otherwise.
+func (w Workload) Class() string {
+	hasILP, hasMEM := false, false
+	for _, b := range w.Benchmarks {
+		if cl, _ := BenchClass(b); cl == MEM {
+			hasMEM = true
+		} else {
+			hasILP = true
+		}
+	}
+	switch {
+	case !hasMEM:
+		return ILP.String()
+	case !hasILP:
+		return MEM.String()
+	default:
+		return "MIX"
+	}
+}
+
 // workloads reproduces Table 2 exactly.
 var workloadTable = []Workload{
 	{Name: "2_ILP", Benchmarks: []string{"eon", "gcc"}},
@@ -251,6 +273,15 @@ func Workloads() []Workload {
 	out := make([]Workload, len(workloadTable))
 	copy(out, workloadTable)
 	return out
+}
+
+// WorkloadNames returns the Table 2 workload names in paper order.
+func WorkloadNames() []string {
+	names := make([]string, len(workloadTable))
+	for i, w := range workloadTable {
+		names[i] = w.Name
+	}
+	return names
 }
 
 // WorkloadByName looks up one workload.

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestWorkloadEnumeration(t *testing.T) {
+	ws := Workloads()
+	names := WorkloadNames()
+	if len(ws) != len(names) {
+		t.Fatalf("Workloads/WorkloadNames disagree: %d vs %d", len(ws), len(names))
+	}
+	for i, w := range ws {
+		if w.Name != names[i] {
+			t.Errorf("order mismatch at %d: %q vs %q", i, w.Name, names[i])
+		}
+		if got, err := WorkloadByName(w.Name); err != nil || got.Name != w.Name {
+			t.Errorf("WorkloadByName(%q) = %+v, %v", w.Name, got, err)
+		}
+		if w.Threads() != len(w.Benchmarks) {
+			t.Errorf("%s: Threads() = %d, benchmarks %d", w.Name, w.Threads(), len(w.Benchmarks))
+		}
+		for _, b := range w.Benchmarks {
+			if _, err := Profile(b); err != nil {
+				t.Errorf("%s references unknown benchmark %q", w.Name, b)
+			}
+		}
+	}
+	if _, err := WorkloadByName("9_NOPE"); err == nil {
+		t.Error("WorkloadByName accepted an unknown workload")
+	}
+}
+
+func TestWorkloadClass(t *testing.T) {
+	want := map[string]string{
+		"2_ILP": "ILP", "2_MEM": "MEM", "2_MIX": "MIX",
+		"4_ILP": "ILP", "4_MEM": "MEM", "4_MIX": "MIX",
+		"6_ILP": "ILP", "6_MIX": "MIX",
+		"8_ILP": "ILP", "8_MIX": "MIX",
+	}
+	for _, w := range Workloads() {
+		if got := w.Class(); got != want[w.Name] {
+			t.Errorf("%s.Class() = %q, want %q", w.Name, got, want[w.Name])
+		}
+	}
+}
+
+func TestNamesSortedAndResolvable(t *testing.T) {
+	names := Names()
+	if len(names) != 12 {
+		t.Fatalf("Names() has %d entries, want 12", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatal("Names() not sorted")
+	}
+	for _, n := range names {
+		p, err := Profile(n)
+		if err != nil {
+			t.Fatalf("Profile(%q): %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("Profile(%q).Name = %q", n, p.Name)
+		}
+		if _, err := BenchClass(n); err != nil {
+			t.Errorf("BenchClass(%q): %v", n, err)
+		}
+	}
+	if _, err := Profile("nonesuch"); err == nil {
+		t.Error("Profile accepted an unknown benchmark")
+	}
+	if _, err := BenchClass("nonesuch"); err == nil {
+		t.Error("BenchClass accepted an unknown benchmark")
+	}
+}
+
+func TestILPAndMemPartition(t *testing.T) {
+	ilp := ILPWorkloads()
+	mem := MemWorkloads()
+	if len(ilp)+len(mem) != len(Workloads()) {
+		t.Fatalf("partition sizes %d+%d != %d", len(ilp), len(mem), len(Workloads()))
+	}
+	for _, w := range ilp {
+		if w.Class() != "ILP" {
+			t.Errorf("ILPWorkloads contains %s with class %s", w.Name, w.Class())
+		}
+	}
+	for _, w := range mem {
+		if w.Class() == "ILP" {
+			t.Errorf("MemWorkloads contains pure-ILP %s", w.Name)
+		}
+	}
+}

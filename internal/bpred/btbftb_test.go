@@ -1,0 +1,107 @@
+package bpred
+
+import (
+	"testing"
+
+	"smtfetch/internal/isa"
+)
+
+func TestBTBInsertThenHit(t *testing.T) {
+	b := NewBTB(64, 4)
+	const pc isa.Addr = 0x1000
+	if _, ok := b.Lookup(pc); ok {
+		t.Fatal("empty BTB reported a hit")
+	}
+	want := BTBEntry{Kind: isa.CondBranch, Target: 0x2000}
+	b.Insert(pc, want)
+	got, ok := b.Lookup(pc)
+	if !ok || got != want {
+		t.Fatalf("Lookup = %+v,%v, want %+v,true", got, ok, want)
+	}
+	// Updating in place must not allocate a second way.
+	want.Target = 0x3000
+	b.Insert(pc, want)
+	if got, ok := b.Lookup(pc); !ok || got.Target != 0x3000 {
+		t.Fatalf("after update Lookup = %+v,%v, want target 0x3000", got, ok)
+	}
+	if b.Lookups != 3 || b.Hits != 2 {
+		t.Fatalf("Lookups/Hits = %d/%d, want 3/2", b.Lookups, b.Hits)
+	}
+}
+
+func TestBTBEvictsLRUWithinSet(t *testing.T) {
+	// 4 sets x 2 ways; PCs are word-addressed, so pc>>2 selects the set.
+	b := NewBTB(8, 2)
+	set := func(i int) isa.Addr { return isa.Addr(i * 4 * 4) } // same set 0
+	b.Insert(set(1), BTBEntry{Target: 0x10})
+	b.Insert(set(2), BTBEntry{Target: 0x20})
+	b.Lookup(set(1)) // refresh 1 so 2 becomes LRU
+	b.Insert(set(3), BTBEntry{Target: 0x30})
+	if _, ok := b.Lookup(set(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := b.Lookup(set(1)); !ok {
+		t.Fatal("MRU entry was evicted")
+	}
+	if _, ok := b.Lookup(set(3)); !ok {
+		t.Fatal("newly inserted entry missing")
+	}
+}
+
+func TestFTBTrainThenHit(t *testing.T) {
+	f := NewFTB(64, 4)
+	const start isa.Addr = 0x4000
+	if _, ok := f.Lookup(start); ok {
+		t.Fatal("empty FTB reported a hit")
+	}
+	f.Train(start, 12, isa.CondBranch, 0x5000)
+	e, ok := f.Lookup(start)
+	if !ok {
+		t.Fatal("trained block missing")
+	}
+	if e.Instrs != 12 || e.Kind != isa.CondBranch || e.Target != 0x5000 {
+		t.Fatalf("entry = %+v, want {12 CondBranch 0x5000}", e)
+	}
+}
+
+func TestFTBTrainClampsLength(t *testing.T) {
+	f := NewFTB(64, 4)
+	f.Train(0x100, 0, isa.CondBranch, 0x200)
+	if e, _ := f.Lookup(0x100); e.Instrs != 1 {
+		t.Fatalf("zero-length block stored as %d instrs, want clamp to 1", e.Instrs)
+	}
+	f.Train(0x300, MaxFTBBlock+100, isa.CondBranch, 0x400)
+	if e, _ := f.Lookup(0x300); e.Instrs != MaxFTBBlock {
+		t.Fatalf("oversized block stored as %d instrs, want clamp to %d", e.Instrs, MaxFTBBlock)
+	}
+}
+
+func TestFTBFallthroughInvalidation(t *testing.T) {
+	f := NewFTB(64, 4)
+	const start isa.Addr = 0x4000
+	f.Train(start, 8, isa.CondBranch, 0x5000)
+	// ftbMaxFallthroughs-1 not-taken outcomes keep the entry alive...
+	for i := 0; i < ftbMaxFallthroughs-1; i++ {
+		if f.Fallthrough(start) {
+			t.Fatalf("entry invalidated after only %d fallthroughs", i+1)
+		}
+	}
+	// ...a taken outcome resets the hysteresis...
+	f.TakenReset(start)
+	for i := 0; i < ftbMaxFallthroughs-1; i++ {
+		if f.Fallthrough(start) {
+			t.Fatal("TakenReset did not clear the fallthrough count")
+		}
+	}
+	// ...and saturating it drops the entry.
+	if !f.Fallthrough(start) {
+		t.Fatal("saturating fallthroughs did not invalidate")
+	}
+	if _, ok := f.Lookup(start); ok {
+		t.Fatal("invalidated entry still hits")
+	}
+	// Fallthrough on a missing block is a no-op.
+	if f.Fallthrough(0xDEAD0) {
+		t.Fatal("Fallthrough on missing entry reported invalidation")
+	}
+}

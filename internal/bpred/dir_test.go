@@ -1,0 +1,87 @@
+package bpred
+
+import (
+	"testing"
+
+	"smtfetch/internal/isa"
+)
+
+// trainRoundTrip drives a predictor through a train-then-predict cycle on a
+// strongly biased branch and checks it learns both directions.
+func trainRoundTrip(t *testing.T, p DirPredictor) {
+	t.Helper()
+	const pc isa.Addr = 0x4440
+	const hist = 0x5a5a
+
+	// Weakly-initialized counters need two updates to cross the threshold.
+	for i := 0; i < 4; i++ {
+		p.Update(pc, hist, true)
+	}
+	if !p.Predict(pc, hist) {
+		t.Fatal("predicts not-taken after taken training")
+	}
+	for i := 0; i < 4; i++ {
+		p.Update(pc, hist, false)
+	}
+	if p.Predict(pc, hist) {
+		t.Fatal("predicts taken after not-taken retraining")
+	}
+}
+
+func TestGShareRoundTrip(t *testing.T) { trainRoundTrip(t, NewGShare(1024, 10)) }
+func TestGSkewRoundTrip(t *testing.T)  { trainRoundTrip(t, NewGSkew(1024, 10)) }
+func TestBimodalRound(t *testing.T)    { trainRoundTrip(t, NewBimodal(1024)) }
+
+func TestGShareHistoryDisambiguates(t *testing.T) {
+	g := NewGShare(1<<16, 16)
+	const pc isa.Addr = 0x8000
+	// Same PC, two histories, opposite outcomes: gshare must keep them in
+	// separate counters (that is the whole point of XOR indexing).
+	for i := 0; i < 4; i++ {
+		g.Update(pc, 0x0001, true)
+		g.Update(pc, 0x0002, false)
+	}
+	if !g.Predict(pc, 0x0001) {
+		t.Fatal("history 0x0001 lost its taken training")
+	}
+	if g.Predict(pc, 0x0002) {
+		t.Fatal("history 0x0002 lost its not-taken training")
+	}
+}
+
+func TestGSkewMajorityVote(t *testing.T) {
+	g := NewGSkew(1024, 10)
+	const pc isa.Addr = 0x1230
+	const hist = 0x3c
+	// Saturate taken, then a single not-taken update must not flip the
+	// majority (each bank goes 3 -> 2, still taken).
+	for i := 0; i < 8; i++ {
+		g.Update(pc, hist, true)
+	}
+	g.Update(pc, hist, false)
+	if !g.Predict(pc, hist) {
+		t.Fatal("one not-taken update flipped a saturated gskew majority")
+	}
+}
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.inc()
+	}
+	if c != 3 {
+		t.Fatalf("inc saturation: got %d, want 3", c)
+	}
+	if !c.taken() {
+		t.Fatal("saturated-up counter not taken")
+	}
+	for i := 0; i < 10; i++ {
+		c = c.dec()
+	}
+	if c != 0 {
+		t.Fatalf("dec saturation: got %d, want 0", c)
+	}
+	if c.taken() {
+		t.Fatal("saturated-down counter still taken")
+	}
+}

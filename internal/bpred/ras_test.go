@@ -1,0 +1,102 @@
+package bpred
+
+import (
+	"testing"
+
+	"smtfetch/internal/isa"
+)
+
+func TestRASPushPop(t *testing.T) {
+	r := NewRAS(4)
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop on empty RAS reported ok")
+	}
+	if _, ok := r.Top(); ok {
+		t.Fatal("Top on empty RAS reported ok")
+	}
+	r.Push(0x100)
+	r.Push(0x200)
+	r.Push(0x300)
+	if d := r.Depth(); d != 3 {
+		t.Fatalf("Depth = %d, want 3", d)
+	}
+	if a, ok := r.Top(); !ok || a != 0x300 {
+		t.Fatalf("Top = %#x,%v, want 0x300,true", a, ok)
+	}
+	for _, want := range []isa.Addr{0x300, 0x200, 0x100} {
+		a, ok := r.Pop()
+		if !ok || a != want {
+			t.Fatalf("Pop = %#x,%v, want %#x,true", a, ok, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop after draining reported ok")
+	}
+}
+
+func TestRASOverflowWraparound(t *testing.T) {
+	const n = 4
+	r := NewRAS(n)
+	// Push 2n entries: the first n are overwritten, depth saturates at n.
+	for i := 1; i <= 2*n; i++ {
+		r.Push(isa.Addr(i * 0x10))
+	}
+	if d := r.Depth(); d != n {
+		t.Fatalf("Depth after overflow = %d, want %d", d, n)
+	}
+	// The survivors are the newest n, popped newest-first.
+	for i := 2 * n; i > n; i-- {
+		a, ok := r.Pop()
+		if !ok || a != isa.Addr(i*0x10) {
+			t.Fatalf("Pop = %#x,%v, want %#x,true", a, ok, isa.Addr(i*0x10))
+		}
+	}
+	// The stack is now logically empty even though the buffer wrapped.
+	if d := r.Depth(); d != 0 {
+		t.Fatalf("Depth after draining survivors = %d, want 0", d)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop past the overwritten region reported ok")
+	}
+	// And it keeps working after the wraparound.
+	r.Push(0x999)
+	if a, ok := r.Pop(); !ok || a != 0x999 {
+		t.Fatalf("Pop after rewrap = %#x,%v, want 0x999,true", a, ok)
+	}
+}
+
+func TestRASCheckpointRestore(t *testing.T) {
+	r := NewRAS(8)
+	r.Push(0x100)
+	r.Push(0x200)
+	cp := r.Checkpoint()
+
+	// Speculative pop then push corrupts the top; Restore must repair it.
+	r.Pop()
+	r.Push(0xBAD)
+	r.Push(0xBAD2)
+	r.Restore(cp)
+
+	if d := r.Depth(); d != 2 {
+		t.Fatalf("Depth after restore = %d, want 2", d)
+	}
+	if a, ok := r.Pop(); !ok || a != 0x200 {
+		t.Fatalf("Pop after restore = %#x,%v, want 0x200,true", a, ok)
+	}
+	if a, ok := r.Pop(); !ok || a != 0x100 {
+		t.Fatalf("second Pop after restore = %#x,%v, want 0x100,true", a, ok)
+	}
+}
+
+func TestRASCheckpointEmpty(t *testing.T) {
+	r := NewRAS(4)
+	cp := r.Checkpoint()
+	r.Push(0x40)
+	r.Restore(cp)
+	if d := r.Depth(); d != 0 {
+		t.Fatalf("Depth after restoring empty checkpoint = %d, want 0", d)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop after restoring empty checkpoint reported ok")
+	}
+}

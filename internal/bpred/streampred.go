@@ -52,7 +52,7 @@ func newStreamTable(entries, assoc int) *streamTable {
 	}
 }
 
-func (t *streamTable) set(key uint64) int    { return int(key % uint64(t.sets)) }
+func (t *streamTable) set(key uint64) int      { return int(key % uint64(t.sets)) }
 func (t *streamTable) tagOf(key uint64) uint64 { return key / uint64(t.sets) }
 
 func (t *streamTable) find(key uint64) int {

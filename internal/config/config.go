@@ -4,7 +4,11 @@
 // the fetch width (8 / 16).
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Engine selects the fetch-engine family (branch predictor + target
 // structure) used by the decoupled front-end.
@@ -41,6 +45,21 @@ func (e Engine) String() string {
 // Engines lists all fetch engines in the order the paper plots them.
 func Engines() []Engine { return []Engine{GShareBTB, GSkewFTB, StreamFetch} }
 
+// ParseEngine resolves an engine name as printed by Engine.String. It also
+// accepts the short aliases "gshare", "gskew", and "stream"
+// (case-insensitive), so CLI flags read naturally.
+func ParseEngine(s string) (Engine, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "gshare+btb", "gshare", "btb":
+		return GShareBTB, nil
+	case "gskew+ftb", "gskew", "ftb":
+		return GSkewFTB, nil
+	case "stream", "streamfetch":
+		return StreamFetch, nil
+	}
+	return 0, fmt.Errorf("config: unknown engine %q (want one of %v)", s, Engines())
+}
+
 // Policy selects how the fetch policy prioritizes threads.
 type Policy uint8
 
@@ -64,6 +83,21 @@ func (p Policy) String() string {
 	}
 }
 
+// Policies lists the thread-selection policies the paper studies.
+func Policies() []Policy { return []Policy{ICount, RoundRobin} }
+
+// ParsePolicy resolves a policy name as printed by Policy.String
+// (case-insensitive).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "ICOUNT":
+		return ICount, nil
+	case "RR", "ROUNDROBIN":
+		return RoundRobin, nil
+	}
+	return 0, fmt.Errorf("config: unknown policy %q (want ICOUNT or RR)", s)
+}
+
 // FetchPolicy is the paper's POLICY.T.W notation: up to Width instructions
 // total from up to Threads threads each cycle (e.g. ICOUNT.2.8).
 type FetchPolicy struct {
@@ -83,7 +117,46 @@ var (
 	ICount28  = FetchPolicy{ICount, 2, 8}
 	ICount116 = FetchPolicy{ICount, 1, 16}
 	ICount216 = FetchPolicy{ICount, 2, 16}
+
+	RR18  = FetchPolicy{RoundRobin, 1, 8}
+	RR28  = FetchPolicy{RoundRobin, 2, 8}
+	RR116 = FetchPolicy{RoundRobin, 1, 16}
+	RR216 = FetchPolicy{RoundRobin, 2, 16}
 )
+
+// FetchPolicies lists the four ICOUNT.T.W configurations the paper's
+// figures evaluate, in paper order. This is the default policy axis of an
+// experiment sweep.
+func FetchPolicies() []FetchPolicy {
+	return []FetchPolicy{ICount18, ICount28, ICount116, ICount216}
+}
+
+// AllFetchPolicies additionally includes the round-robin variants.
+func AllFetchPolicies() []FetchPolicy {
+	return []FetchPolicy{ICount18, ICount28, ICount116, ICount216, RR18, RR28, RR116, RR216}
+}
+
+// ParseFetchPolicy parses the POLICY.T.W notation (e.g. "ICOUNT.2.8",
+// "RR.1.16"), round-tripping FetchPolicy.String.
+func ParseFetchPolicy(s string) (FetchPolicy, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) != 3 {
+		return FetchPolicy{}, fmt.Errorf("config: fetch policy %q not in POLICY.T.W form (e.g. ICOUNT.2.8)", s)
+	}
+	p, err := ParsePolicy(parts[0])
+	if err != nil {
+		return FetchPolicy{}, err
+	}
+	t, err := strconv.Atoi(parts[1])
+	if err != nil || t < 1 {
+		return FetchPolicy{}, fmt.Errorf("config: fetch policy %q has bad thread count %q", s, parts[1])
+	}
+	w, err := strconv.Atoi(parts[2])
+	if err != nil || w < 1 {
+		return FetchPolicy{}, fmt.Errorf("config: fetch policy %q has bad width %q", s, parts[2])
+	}
+	return FetchPolicy{Policy: p, Threads: t, Width: w}, nil
+}
 
 // CacheConfig describes one cache level.
 type CacheConfig struct {

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Delta is the comparison of one cell across two results files.
+type Delta struct {
+	Key string `json:"key"`
+
+	OldIPC float64 `json:"old_ipc"`
+	NewIPC float64 `json:"new_ipc"`
+	// RelChange is (new-old)/old; nil when the old IPC is zero (a NaN
+	// here would make the whole Report unmarshalable).
+	RelChange *float64 `json:"rel_change,omitempty"`
+
+	// Regression marks an IPC drop beyond the comparison tolerance.
+	Regression bool `json:"regression"`
+	// MissingIn is "old" or "new" when the cell exists on only one side.
+	MissingIn string `json:"missing_in,omitempty"`
+}
+
+// Report aggregates a comparison. It is the future perf gate: CI runs a
+// sweep, compares against the checked-in baseline, and fails on
+// Regressions > 0.
+type Report struct {
+	Tolerance   float64 `json:"tolerance"`
+	Deltas      []Delta `json:"deltas"`
+	Regressions int     `json:"regressions"`
+	Missing     int     `json:"missing"`
+}
+
+// Compare matches cells of two result sets by key and flags IPC drops
+// larger than tol (a fraction: 0.02 tolerates a 2% drop). Cells present on
+// only one side are reported as missing, never as regressions.
+func Compare(old, new []Result, tol float64) Report {
+	if tol < 0 {
+		tol = 0
+	}
+	oldByKey := make(map[string]Result, len(old))
+	for _, r := range old {
+		oldByKey[r.Key()] = r
+	}
+	newByKey := make(map[string]Result, len(new))
+	for _, r := range new {
+		newByKey[r.Key()] = r
+	}
+
+	keys := make([]string, 0, len(oldByKey)+len(newByKey))
+	for k := range oldByKey {
+		keys = append(keys, k)
+	}
+	for k := range newByKey {
+		if _, dup := oldByKey[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	rep := Report{Tolerance: tol}
+	for _, k := range keys {
+		o, inOld := oldByKey[k]
+		n, inNew := newByKey[k]
+		d := Delta{Key: k, OldIPC: o.IPC, NewIPC: n.IPC}
+		switch {
+		case !inOld:
+			d.MissingIn = "old"
+			rep.Missing++
+		case !inNew:
+			d.MissingIn = "new"
+			rep.Missing++
+		default:
+			if o.IPC != 0 {
+				rc := (n.IPC - o.IPC) / o.IPC
+				d.RelChange = &rc
+			}
+			if n.IPC < o.IPC*(1-tol) {
+				d.Regression = true
+				rep.Regressions++
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	return rep
+}
+
+// String renders the report as an aligned table plus a one-line verdict.
+func (rep Report) String() string {
+	rows := [][]string{{"CELL", "OLD.IPC", "NEW.IPC", "CHANGE", "FLAG"}}
+	for _, d := range rep.Deltas {
+		change, flag := "", ""
+		switch {
+		case d.MissingIn != "":
+			flag = "missing in " + d.MissingIn
+		case d.RelChange == nil:
+			change = "n/a"
+		default:
+			change = fmt.Sprintf("%+.2f%%", 100**d.RelChange)
+			if d.Regression {
+				flag = "REGRESSION"
+			}
+		}
+		rows = append(rows, []string{
+			d.Key,
+			fmt.Sprintf("%.3f", d.OldIPC),
+			fmt.Sprintf("%.3f", d.NewIPC),
+			change,
+			flag,
+		})
+	}
+	var b strings.Builder
+	b.WriteString(renderAligned(rows))
+	fmt.Fprintf(&b, "%d cells compared, %d regressions (tolerance %.1f%%), %d missing\n",
+		len(rep.Deltas), rep.Regressions, 100*rep.Tolerance, rep.Missing)
+	return b.String()
+}

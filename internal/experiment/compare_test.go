@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func res(workload, engine, policy string, seed uint64, ipc float64) Result {
+	return Result{Workload: workload, Engine: engine, Policy: policy, Seed: seed, IPC: ipc}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := []Result{
+		res("2_MIX", "stream", "ICOUNT.1.8", 1, 3.00),
+		res("2_MIX", "stream", "ICOUNT.2.8", 1, 2.00),
+	}
+	new_ := []Result{
+		res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.80), // -6.7%: regression at 2%
+		res("2_MIX", "stream", "ICOUNT.2.8", 1, 1.97), // -1.5%: inside tolerance
+	}
+	rep := Compare(old, new_, 0.02)
+	if rep.Regressions != 1 {
+		t.Fatalf("Regressions = %d, want 1", rep.Regressions)
+	}
+	if !rep.Deltas[0].Regression || rep.Deltas[1].Regression {
+		t.Fatalf("wrong cell flagged: %+v", rep.Deltas)
+	}
+	if rc := rep.Deltas[0].RelChange; rc == nil || math.Abs(*rc-(-0.2/3.0)) > 1e-12 {
+		t.Fatalf("RelChange = %v", rc)
+	}
+}
+
+func TestCompareImprovementNotFlagged(t *testing.T) {
+	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.00)}
+	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.50)}
+	rep := Compare(old, new_, 0.02)
+	if rep.Regressions != 0 {
+		t.Fatalf("improvement flagged as regression: %+v", rep.Deltas)
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.00)}
+	// Exactly at the boundary: new == old*(1-tol) is NOT a regression
+	// (strict less-than), so gates don't flap on exact-equal baselines.
+	exact := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0.98)}
+	if rep := Compare(old, exact, 0.02); rep.Regressions != 0 {
+		t.Fatal("boundary value flagged")
+	}
+	below := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0.9799)}
+	if rep := Compare(old, below, 0.02); rep.Regressions != 1 {
+		t.Fatal("below-boundary value not flagged")
+	}
+	// Negative tolerance is clamped to exact matching.
+	if rep := Compare(old, []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0.999)}, -1); rep.Regressions != 1 {
+		t.Fatal("negative tolerance did not clamp to 0")
+	}
+}
+
+func TestCompareMissingCells(t *testing.T) {
+	old := []Result{
+		res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0),
+		res("2_MIX", "gshare+BTB", "ICOUNT.1.8", 1, 1.0),
+	}
+	new_ := []Result{
+		res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0),
+		res("4_MIX", "stream", "ICOUNT.1.8", 1, 1.0),
+	}
+	rep := Compare(old, new_, 0.02)
+	if rep.Missing != 2 {
+		t.Fatalf("Missing = %d, want 2", rep.Missing)
+	}
+	if rep.Regressions != 0 {
+		t.Fatal("missing cells counted as regressions")
+	}
+	var inOld, inNew int
+	for _, d := range rep.Deltas {
+		switch d.MissingIn {
+		case "old":
+			inOld++
+		case "new":
+			inNew++
+		}
+	}
+	if inOld != 1 || inNew != 1 {
+		t.Fatalf("missing split old=%d new=%d, want 1/1", inOld, inNew)
+	}
+}
+
+func TestCompareZeroOldIPC(t *testing.T) {
+	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0)}
+	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0)}
+	rep := Compare(old, new_, 0.02)
+	if rep.Deltas[0].RelChange != nil {
+		t.Fatalf("RelChange for zero baseline = %v, want nil", *rep.Deltas[0].RelChange)
+	}
+	if rep.Regressions != 0 {
+		t.Fatal("zero baseline flagged as regression")
+	}
+	// A report with a zero-baseline cell must still marshal.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report with zero-baseline cell does not marshal: %v", err)
+	}
+	if strings.Contains(Compare(old, new_, 0.02).String(), "NaN") {
+		t.Fatal("report renders NaN")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 3.0)}
+	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.0)}
+	out := Compare(old, new_, 0.02).String()
+	for _, frag := range []string{"REGRESSION", "1 regressions", "2_MIX/stream/ICOUNT.1.8/1", "-33.33%"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package experiment is the sweep harness over the simulator: it expands a
+// cross-product of fetch engines × fetch policies × workloads × seeds into
+// cells, runs them on a bounded pool of goroutines, and aggregates the
+// per-cell results into deterministically ordered, machine-readable output.
+//
+// Determinism is a hard requirement: each cell's effective seed is derived
+// from the cell's identity (not from execution order), and the aggregated
+// results are sorted by cell key, so a sweep produces bit-identical JSON
+// whether it runs on one worker or sixteen, full or filtered.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"smtfetch/internal/bench"
+	"smtfetch/internal/config"
+	"smtfetch/internal/rng"
+)
+
+// Cell is one point of the sweep grid.
+type Cell struct {
+	Workload string
+	Engine   config.Engine
+	Policy   config.FetchPolicy
+	// Seed is the replication-axis value (the paper's runs are
+	// single-seed; multiple seeds give confidence intervals). The seed the
+	// simulator actually consumes is derived from it plus the cell
+	// identity; see CellSeed.
+	Seed uint64
+}
+
+// Key is the cell's stable identity string, used for sorting, seed
+// derivation, and matching cells across results files.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%d", c.Workload, c.Engine, c.Policy, c.Seed)
+}
+
+// CellSeed derives the simulator seed for a cell. It hashes the cell's
+// identity and mixes it through SplitMix64, so the effective seed depends
+// only on what the cell is — never on worker count, execution order, or
+// which other cells the sweep happens to contain.
+func CellSeed(c Cell) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(c.Key()))
+	st := h.Sum64()
+	s := rng.SplitMix64(&st)
+	if s == 0 {
+		s = 1 // Options.Seed treats 0 as "use the package default"
+	}
+	return s
+}
+
+// Sweep describes an experiment grid. Zero-value axes default to the
+// paper's full study: all three engines, the four ICOUNT.T.W policies, and
+// every Table 2 workload, one seed.
+type Sweep struct {
+	// Engines, Policies, Workloads, Seeds are the grid axes. Empty axes
+	// take the paper defaults (Seeds defaults to {1}).
+	Engines   []config.Engine
+	Policies  []config.FetchPolicy
+	Workloads []string
+	Seeds     []uint64
+
+	// Filter, when non-nil, keeps only cells it returns true for.
+	Filter func(Cell) bool
+
+	// Jobs bounds the worker pool; <= 0 means runtime.NumCPU().
+	Jobs int
+
+	// Simulation phase lengths; zero values take the smtfetch defaults
+	// (200k warmup, 1M measure, 50M max cycles).
+	WarmupInstrs  uint64
+	MeasureInstrs uint64
+	MaxCycles     uint64
+
+	// Machine overrides the Table 3 configuration when non-nil.
+	Machine *config.Config
+
+	// OnResult, when non-nil, is called after each cell finishes with the
+	// completed count, the total, and the cell's result. Calls are
+	// serialized but arrive in completion order, not cell order.
+	OnResult func(done, total int, r Result)
+}
+
+// Cells expands the grid into its cell list in deterministic order
+// (workload, then engine, then policy, then seed, each axis in the order
+// given) after applying the filter.
+func (s *Sweep) Cells() []Cell {
+	engines := s.Engines
+	if len(engines) == 0 {
+		engines = config.Engines()
+	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = config.FetchPolicies()
+	}
+	workloads := s.Workloads
+	if len(workloads) == 0 {
+		workloads = bench.WorkloadNames()
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	cells := make([]Cell, 0, len(workloads)*len(engines)*len(policies)*len(seeds))
+	for _, w := range workloads {
+		for _, e := range engines {
+			for _, p := range policies {
+				for _, sd := range seeds {
+					c := Cell{Workload: w, Engine: e, Policy: p, Seed: sd}
+					if s.Filter != nil && !s.Filter(c) {
+						continue
+					}
+					cells = append(cells, c)
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Validate checks the grid before any simulation starts: every workload
+// must exist and every cell's machine configuration must validate.
+func (s *Sweep) Validate() error {
+	cells := s.Cells()
+	if len(cells) == 0 {
+		return errors.New("experiment: sweep selects no cells")
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		k := c.Key()
+		if seen[k] {
+			return fmt.Errorf("experiment: duplicate cell %s", k)
+		}
+		seen[k] = true
+		if _, err := bench.WorkloadByName(c.Workload); err != nil {
+			return err
+		}
+		mc := config.Default()
+		if s.Machine != nil {
+			mc = *s.Machine
+		}
+		mc.Engine = c.Engine
+		mc.FetchPolicy = c.Policy
+		if err := mc.Validate(); err != nil {
+			return fmt.Errorf("experiment: cell %s: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Run expands, validates, and executes the sweep on a bounded worker pool.
+// The returned results are sorted by cell key. Cells that fail are reported
+// both in their Result.Error field and in the aggregated error.
+func (s *Sweep) Run() ([]Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cells := s.Cells()
+	jobs := s.Jobs
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+
+	results := make([]Result, len(cells))
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	work := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = s.runCell(cells[i])
+				if s.OnResult != nil {
+					mu.Lock()
+					done++
+					s.OnResult(done, len(cells), results[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	SortResults(results)
+	var errs []error
+	for i := range results {
+		if results[i].Error != "" {
+			errs = append(errs, fmt.Errorf("experiment: cell %s: %s", results[i].Key(), results[i].Error))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// runCell executes one cell via the public smtfetch API. It lives in
+// run.go's runner variable so tests can intercept it; see runner.
+func (s *Sweep) runCell(c Cell) Result {
+	return runner(s, c)
+}

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"smtfetch"
+)
+
+// runner executes a single cell. It is a package variable so tests can
+// substitute a fast fake simulator when exercising pool mechanics; real
+// sweeps always go through the public smtfetch API.
+var runner = func(s *Sweep, c Cell) Result {
+	res, err := smtfetch.Run(smtfetch.Options{
+		Workload:      c.Workload,
+		Engine:        c.Engine,
+		Policy:        c.Policy,
+		Seed:          CellSeed(c),
+		WarmupInstrs:  s.WarmupInstrs,
+		MeasureInstrs: s.MeasureInstrs,
+		MaxCycles:     s.MaxCycles,
+		Machine:       s.Machine,
+	})
+	r := Result{
+		Workload: c.Workload,
+		Engine:   c.Engine.String(),
+		Policy:   c.Policy.String(),
+		Seed:     c.Seed,
+	}
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
+	snap := res.Stats.Snapshot()
+	r.IPC = res.IPC
+	r.IPFC = res.IPFC
+	r.CondAccuracy = res.CondAccuracy
+	r.Stats = &snap
+	return r
+}

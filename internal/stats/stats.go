@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -155,6 +156,102 @@ func rate(n, d uint64) float64 {
 	return float64(n) / float64(d)
 }
 
+// Snapshot is a flat, JSON-serializable summary of a run: the raw counters
+// an experiment result needs, plus the derived rates the paper quotes.
+// Experiment sweep output embeds one Snapshot per cell.
+type Snapshot struct {
+	Cycles      uint64 `json:"cycles"`
+	FetchCycles uint64 `json:"fetch_cycles"`
+	Fetched     uint64 `json:"fetched"`
+	Committed   uint64 `json:"committed"`
+	Squashed    uint64 `json:"squashed"`
+
+	IPC              float64 `json:"ipc"`
+	IPFC             float64 `json:"ipfc"`
+	AvgFetchBlockLen float64 `json:"avg_fetch_block_len"`
+
+	CondBranches      uint64  `json:"cond_branches"`
+	CondMispredicts   uint64  `json:"cond_mispredicts"`
+	CondAccuracy      float64 `json:"cond_accuracy"`
+	TargetMisfetches  uint64  `json:"target_misfetches"`
+	StreamPredictions uint64  `json:"stream_predictions,omitempty"`
+	StreamMisses      uint64  `json:"stream_misses,omitempty"`
+	RASPops           uint64  `json:"ras_pops"`
+	RASMispredicts    uint64  `json:"ras_mispredicts"`
+
+	ICacheMissRate float64 `json:"icache_miss_rate"`
+	DCacheMissRate float64 `json:"dcache_miss_rate"`
+	L2MissRate     float64 `json:"l2_miss_rate"`
+	ITLBMisses     uint64  `json:"itlb_misses"`
+	DTLBMisses     uint64  `json:"dtlb_misses"`
+
+	StallROBFull   uint64 `json:"stall_rob_full"`
+	StallIQFull    uint64 `json:"stall_iq_full"`
+	StallRegsFull  uint64 `json:"stall_regs_full"`
+	FetchBufStalls uint64 `json:"fetch_buf_stalls"`
+
+	PerThread []ThreadSnapshot `json:"per_thread"`
+}
+
+// ThreadSnapshot is the per-thread slice of a Snapshot.
+type ThreadSnapshot struct {
+	Fetched         uint64  `json:"fetched"`
+	Committed       uint64  `json:"committed"`
+	Squashed        uint64  `json:"squashed"`
+	CondBranches    uint64  `json:"cond_branches"`
+	CondMispredicts uint64  `json:"cond_mispredicts"`
+	CondAccuracy    float64 `json:"cond_accuracy"`
+}
+
+// Snapshot freezes the current counters into a serializable value.
+func (s *Stats) Snapshot() Snapshot {
+	snap := Snapshot{
+		Cycles:      s.Cycles,
+		FetchCycles: s.FetchCycles,
+		Fetched:     s.Fetched,
+		Committed:   s.Committed,
+		Squashed:    s.Squashed,
+
+		IPC:              s.IPC(),
+		IPFC:             s.IPFC(),
+		AvgFetchBlockLen: s.AvgFetchBlockLen(),
+
+		CondBranches:      s.CondBranches,
+		CondMispredicts:   s.CondMispredicts,
+		CondAccuracy:      s.CondAccuracy(),
+		TargetMisfetches:  s.TargetMisfetches,
+		StreamPredictions: s.StreamPredictions,
+		StreamMisses:      s.StreamMisses,
+		RASPops:           s.RASPops,
+		RASMispredicts:    s.RASMispredicts,
+
+		ICacheMissRate: s.ICacheMissRate(),
+		DCacheMissRate: s.DCacheMissRate(),
+		L2MissRate:     s.L2MissRate(),
+		ITLBMisses:     s.ITLBMisses,
+		DTLBMisses:     s.DTLBMisses,
+
+		StallROBFull:   s.StallROBFull,
+		StallIQFull:    s.StallIQFull,
+		StallRegsFull:  s.StallRegsFull,
+		FetchBufStalls: s.FetchBufStalls,
+
+		PerThread: make([]ThreadSnapshot, len(s.PerThread)),
+	}
+	for i := range s.PerThread {
+		t := &s.PerThread[i]
+		snap.PerThread[i] = ThreadSnapshot{
+			Fetched:         t.Fetched,
+			Committed:       t.Committed,
+			Squashed:        t.Squashed,
+			CondBranches:    t.CondBranches,
+			CondMispredicts: t.CondMispredicts,
+			CondAccuracy:    1 - rate(t.CondMispredicts, t.CondBranches),
+		}
+	}
+	return snap
+}
+
 // String renders a human-readable multi-line summary.
 func (s *Stats) String() string {
 	var b strings.Builder
@@ -219,7 +316,7 @@ func (h *Histogram) Percentile(p float64) int {
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
-	need := uint64(p * float64(h.total))
+	need := uint64(math.Ceil(p * float64(h.total)))
 	if need == 0 {
 		need = 1
 	}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func sampleStats() *Stats {
+	s := New(2, 8)
+	s.Cycles = 1000
+	s.FetchCycles = 800
+	s.Fetched = 4000
+	s.Committed = 2500
+	s.Squashed = 900
+	s.CondBranches = 400
+	s.CondMispredicts = 40
+	s.TargetMisfetches = 7
+	s.RASPops = 55
+	s.RASMispredicts = 5
+	s.FetchBlockLenSum = 3200
+	s.FetchBlocks = 400
+	s.ICacheAccesses = 1000
+	s.ICacheMisses = 20
+	s.DCacheAccesses = 600
+	s.DCacheMisses = 120
+	s.L2Accesses = 140
+	s.L2Misses = 70
+	s.ITLBMisses = 3
+	s.DTLBMisses = 11
+	s.StallROBFull = 13
+	s.StallIQFull = 17
+	s.StallRegsFull = 19
+	s.FetchBufStalls = 23
+	s.PerThread[0] = ThreadStats{Fetched: 2100, Committed: 1300, Squashed: 500, CondBranches: 250, CondMispredicts: 25}
+	s.PerThread[1] = ThreadStats{Fetched: 1900, Committed: 1200, Squashed: 400, CondBranches: 150, CondMispredicts: 15}
+	return s
+}
+
+func TestDerivedRates(t *testing.T) {
+	s := sampleStats()
+	if got := s.IPC(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	if got := s.IPFC(); math.Abs(got-5.0) > 1e-12 {
+		t.Errorf("IPFC = %v, want 5.0", got)
+	}
+	if got := s.CondAccuracy(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("CondAccuracy = %v, want 0.9", got)
+	}
+	if got := s.AvgFetchBlockLen(); math.Abs(got-8.0) > 1e-12 {
+		t.Errorf("AvgFetchBlockLen = %v, want 8.0", got)
+	}
+	empty := New(1, 8)
+	if empty.IPC() != 0 || empty.IPFC() != 0 || empty.CondAccuracy() != 1 {
+		t.Error("zero-run derived rates wrong")
+	}
+}
+
+func TestSnapshotMatchesCounters(t *testing.T) {
+	s := sampleStats()
+	snap := s.Snapshot()
+	if snap.Cycles != s.Cycles || snap.Committed != s.Committed || snap.Fetched != s.Fetched {
+		t.Fatalf("snapshot raw counters diverge: %+v", snap)
+	}
+	if snap.IPC != s.IPC() || snap.IPFC != s.IPFC() || snap.CondAccuracy != s.CondAccuracy() {
+		t.Fatalf("snapshot derived rates diverge: %+v", snap)
+	}
+	if snap.ICacheMissRate != s.ICacheMissRate() || snap.L2MissRate != s.L2MissRate() {
+		t.Fatalf("snapshot cache rates diverge: %+v", snap)
+	}
+	if len(snap.PerThread) != 2 {
+		t.Fatalf("PerThread len = %d, want 2", len(snap.PerThread))
+	}
+	if snap.PerThread[0].Committed != 1300 || snap.PerThread[1].CondAccuracy != 0.9 {
+		t.Fatalf("per-thread snapshot wrong: %+v", snap.PerThread)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	snap := sampleStats().Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("JSON round trip changed the snapshot:\n%+v\n%+v", snap, back)
+	}
+}
+
+func TestSnapshotIsFrozen(t *testing.T) {
+	s := sampleStats()
+	snap := s.Snapshot()
+	s.Committed += 1000
+	s.PerThread[0].Committed += 1000
+	if snap.Committed != 2500 || snap.PerThread[0].Committed != 1300 {
+		t.Fatal("snapshot aliases live counters")
+	}
+}
+
+func TestFracFetchCyclesAtLeast(t *testing.T) {
+	s := New(1, 8)
+	s.FetchCycles = 10
+	s.FetchHist[0] = 2
+	s.FetchHist[4] = 3
+	s.FetchHist[8] = 5
+	if got := s.FracFetchCyclesAtLeast(4); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("FracFetchCyclesAtLeast(4) = %v, want 0.8", got)
+	}
+	if got := s.FracFetchCyclesAtLeast(5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FracFetchCyclesAtLeast(5) = %v, want 0.5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 2, 2, 3, 3, 3, 10} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d, want 7", h.N())
+	}
+	if got := h.Mean(); math.Abs(got-24.0/7) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, 24.0/7)
+	}
+	if got := h.Percentile(0.5); got != 3 {
+		t.Fatalf("P50 = %d, want 3", got)
+	}
+	if got := h.Percentile(1.0); got != 10 {
+		t.Fatalf("P100 = %d, want 10", got)
+	}
+}

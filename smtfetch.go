@@ -13,7 +13,15 @@
 //     T threads per cycle (the paper studies 1.8, 2.8, 1.16, 2.16);
 //   - the paper's SPECint2000 workloads (Table 2), modelled synthetically.
 //
-// Quick start:
+// Quick start (CLI) — sweep the engine×policy grid over one workload on
+// all CPUs and write machine-readable results:
+//
+//	go run ./cmd/smtfetch sweep -workloads 2_MIX -o results.json
+//	go run ./cmd/smtfetch list                  # engines, policies, workloads
+//	go run ./cmd/smtfetch run -workload 2_MIX -engine stream -policy ICOUNT.1.16
+//	go run ./cmd/smtfetch compare base.json results.json -tol 0.02
+//
+// Quick start (library):
 //
 //	res, err := smtfetch.Run(smtfetch.Options{
 //		Workload: "2_MIX",
@@ -21,6 +29,10 @@
 //		Policy:   smtfetch.ICount116,
 //	})
 //	fmt.Printf("IPC %.2f, IPFC %.2f\n", res.IPC, res.IPFC)
+//
+// Engines(), FetchPolicies(), and Workloads() enumerate the grid axes;
+// ParseEngine and ParseFetchPolicy round-trip the String() names, so
+// callers never hard-code them.
 package smtfetch
 
 import (
@@ -47,13 +59,36 @@ type Engine = config.Engine
 // FetchPolicy is the paper's POLICY.T.W notation.
 type FetchPolicy = config.FetchPolicy
 
-// The fetch policies the paper evaluates.
+// The fetch policies the paper evaluates, plus the round-robin variants.
 var (
 	ICount18  = config.ICount18
 	ICount28  = config.ICount28
 	ICount116 = config.ICount116
 	ICount216 = config.ICount216
+
+	RR18  = config.RR18
+	RR28  = config.RR28
+	RR116 = config.RR116
+	RR216 = config.RR216
 )
+
+// Engines lists the fetch engines in paper order.
+func Engines() []Engine { return config.Engines() }
+
+// FetchPolicies lists the four ICOUNT.T.W policies the paper's figures
+// evaluate, in paper order.
+func FetchPolicies() []FetchPolicy { return config.FetchPolicies() }
+
+// AllFetchPolicies additionally includes the round-robin variants.
+func AllFetchPolicies() []FetchPolicy { return config.AllFetchPolicies() }
+
+// ParseEngine resolves an engine name ("gshare+BTB", "gskew+FTB",
+// "stream", or the short aliases "gshare"/"gskew").
+func ParseEngine(s string) (Engine, error) { return config.ParseEngine(s) }
+
+// ParseFetchPolicy parses POLICY.T.W notation, e.g. "ICOUNT.2.8" or
+// "RR.1.16"; it round-trips FetchPolicy.String.
+func ParseFetchPolicy(s string) (FetchPolicy, error) { return config.ParseFetchPolicy(s) }
 
 // MachineConfig is the full Table 3 machine description.
 type MachineConfig = config.Config

@@ -1,0 +1,114 @@
+package smtfetch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// shortOpts keeps simulation tests fast while still exercising warm-up,
+// reset, and measurement phases.
+func shortOpts() Options {
+	return Options{
+		Workload:      "2_MIX",
+		Engine:        StreamFetch,
+		Policy:        ICount116,
+		WarmupInstrs:  10_000,
+		MeasureInstrs: 30_000,
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shortOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.IPFC != b.IPFC || a.CondAccuracy != b.CondAccuracy {
+		t.Fatalf("headline metrics differ:\n%v %v %v\n%v %v %v",
+			a.IPC, a.IPFC, a.CondAccuracy, b.IPC, b.IPFC, b.CondAccuracy)
+	}
+	// Bit-identical down to every counter, not just the headline numbers.
+	if !reflect.DeepEqual(a.Stats.Snapshot(), b.Stats.Snapshot()) {
+		t.Fatalf("stats snapshots differ:\n%+v\n%+v", a.Stats.Snapshot(), b.Stats.Snapshot())
+	}
+}
+
+func TestRunSeedChangesResult(t *testing.T) {
+	o1 := shortOpts()
+	o2 := shortOpts()
+	o2.Seed = 7777
+	a, err := Run(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Stats.Snapshot(), b.Stats.Snapshot()) {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestRunEngineMatters(t *testing.T) {
+	base := shortOpts()
+	var snaps []float64
+	for _, e := range Engines() {
+		o := base
+		o.Engine = e
+		r, err := Run(o)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if r.IPC <= 0 {
+			t.Fatalf("%v: non-positive IPC %v", e, r.IPC)
+		}
+		snaps = append(snaps, r.IPC)
+	}
+	if snaps[0] == snaps[1] && snaps[1] == snaps[2] {
+		t.Fatal("all engines produced identical IPC; engine selection inert?")
+	}
+}
+
+func TestRunRejectsEmptyOptions(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Fatal("Run without workload or benchmarks succeeded")
+	}
+	if _, err := Run(Options{Workload: "9_NOPE"}); err == nil {
+		t.Fatal("Run with unknown workload succeeded")
+	}
+	if _, err := Run(Options{Benchmarks: []string{"nonesuch"}}); err == nil {
+		t.Fatal("Run with unknown benchmark succeeded")
+	}
+}
+
+func TestEnumerations(t *testing.T) {
+	if got := len(Engines()); got != 3 {
+		t.Fatalf("Engines() has %d entries, want 3", got)
+	}
+	if got := len(FetchPolicies()); got != 4 {
+		t.Fatalf("FetchPolicies() has %d entries, want 4", got)
+	}
+	if got := len(AllFetchPolicies()); got != 8 {
+		t.Fatalf("AllFetchPolicies() has %d entries, want 8", got)
+	}
+	if got := len(Workloads()); got != 10 {
+		t.Fatalf("Workloads() has %d entries, want 10", got)
+	}
+	if got := len(Benchmarks()); got != 12 {
+		t.Fatalf("Benchmarks() has %d entries, want 12", got)
+	}
+	for _, e := range Engines() {
+		if back, err := ParseEngine(e.String()); err != nil || back != e {
+			t.Errorf("ParseEngine round trip failed for %v", e)
+		}
+	}
+	for _, p := range AllFetchPolicies() {
+		if back, err := ParseFetchPolicy(p.String()); err != nil || back != p {
+			t.Errorf("ParseFetchPolicy round trip failed for %v", p)
+		}
+	}
+}
