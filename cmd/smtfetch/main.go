@@ -38,6 +38,8 @@ func main() {
 		err = cmdList(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -60,14 +62,16 @@ commands:
   sweep    run an engine x policy x workload x seed grid in parallel
   list     print the available engines, policies, workloads, benchmarks
   compare  diff two sweep results files and flag IPC regressions
+  bench    measure simulator throughput on a fixed grid (perf trajectory)
 
 run 'smtfetch <command> -h' for command flags.
 `)
 }
 
 // simFlags registers the phase-length flags shared by run and sweep.
-func simFlags(fs *flag.FlagSet) (warmup, measure, maxCycles *uint64) {
+func simFlags(fs *flag.FlagSet) (warmup, warmupCycles, measure, maxCycles *uint64) {
 	warmup = fs.Uint64("warmup", 0, "warm-up instructions per cell (0 = default 200k)")
+	warmupCycles = fs.Uint64("warmup-cycles", 0, "extra cycle-based warm-up per cell after the instruction warm-up (0 = none)")
 	measure = fs.Uint64("measure", 0, "measured instructions per cell (0 = default 1M)")
 	maxCycles = fs.Uint64("maxcycles", 0, "cycle bound per phase (0 = default 50M)")
 	return
@@ -81,7 +85,7 @@ func cmdRun(args []string) error {
 	policy := fs.String("policy", "ICOUNT.1.8", "fetch policy (POLICY.T.W)")
 	seed := fs.Uint64("seed", 1, "replication seed, matching sweep's -seeds axis")
 	asJSON := fs.Bool("json", false, "emit the full stats snapshot as JSON")
-	warmup, measure, maxCycles := simFlags(fs)
+	warmup, warmupCycles, measure, maxCycles := simFlags(fs)
 	fs.Parse(args)
 
 	eng, err := smtfetch.ParseEngine(*engine)
@@ -107,6 +111,7 @@ func cmdRun(args []string) error {
 		Policy:        pol,
 		Seed:          experiment.CellSeed(cell),
 		WarmupInstrs:  *warmup,
+		WarmupCycles:  *warmupCycles,
 		MeasureInstrs: *measure,
 		MaxCycles:     *maxCycles,
 	}
@@ -143,12 +148,13 @@ func cmdSweep(args []string) error {
 	out := fs.String("o", "", "write results JSON to this file ('-' or empty = stdout)")
 	table := fs.Bool("table", true, "print the aligned result table to stderr")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
-	warmup, measure, maxCycles := simFlags(fs)
+	warmup, warmupCycles, measure, maxCycles := simFlags(fs)
 	fs.Parse(args)
 
 	sw := experiment.Sweep{
 		Jobs:          *jobs,
 		WarmupInstrs:  *warmup,
+		WarmupCycles:  *warmupCycles,
 		MeasureInstrs: *measure,
 		MaxCycles:     *maxCycles,
 	}
@@ -271,6 +277,75 @@ func cmdCompare(args []string) error {
 		return fmt.Errorf("%d IPC regressions beyond %.1f%% tolerance", rep.Regressions, 100**tol)
 	}
 	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	workloads := fs.String("workloads", "", "comma-separated workloads (default: 2_MIX,4_MIX,8_MIX)")
+	engines := fs.String("engines", "", "comma-separated engines (default: all three)")
+	policies := fs.String("policies", "", "comma-separated POLICY.T.W policies (default: ICOUNT.1.8)")
+	warmup := fs.Uint64("warmup", 0, "warm-up instructions per cell (0 = default 50k)")
+	measure := fs.Uint64("measure", 0, "measured instructions per cell (0 = default 300k)")
+	quick := fs.Bool("quick", false, "CI mode: 10k warm-up, 50k measured instructions")
+	out := fs.String("o", "BENCH_PR2.json", "write the perf report JSON to this file ('-' = stdout)")
+	fs.Parse(args)
+
+	pb := experiment.PerfBench{
+		Workloads:     splitList(*workloads),
+		WarmupInstrs:  *warmup,
+		MeasureInstrs: *measure,
+	}
+	for _, s := range splitList(*engines) {
+		e, err := smtfetch.ParseEngine(s)
+		if err != nil {
+			return err
+		}
+		pb.Engines = append(pb.Engines, e)
+	}
+	for _, s := range splitList(*policies) {
+		p, err := smtfetch.ParseFetchPolicy(s)
+		if err != nil {
+			return err
+		}
+		pb.Policies = append(pb.Policies, p)
+	}
+	if *quick {
+		if pb.WarmupInstrs == 0 {
+			pb.WarmupInstrs = 10_000
+		}
+		if pb.MeasureInstrs == 0 {
+			pb.MeasureInstrs = 50_000
+		}
+	}
+	pb.OnCell = func(done, total int, c experiment.PerfCell) {
+		status := fmt.Sprintf("%.0f kcyc/s, %.3f allocs/cyc", c.KiloCyclesPerSec, c.AllocsPerCycle)
+		if c.Error != "" {
+			status = "ERROR " + c.Error
+		}
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s/%s: %s\n", done, total, c.Workload, c.Engine, c.Policy, status)
+	}
+
+	rep, runErr := pb.Run()
+	if rep == nil {
+		return runErr
+	}
+	fmt.Fprint(os.Stderr, experiment.PerfTable(rep))
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiment.WritePerfJSON(w, rep); err != nil {
+		return err
+	}
+	if w != os.Stdout {
+		fmt.Fprintf(os.Stderr, "wrote perf report to %s\n", *out)
+	}
+	return runErr
 }
 
 // splitList splits a comma-separated flag value, dropping empty items.

@@ -1,0 +1,69 @@
+package cache
+
+import (
+	"testing"
+
+	"smtfetch/internal/config"
+	"smtfetch/internal/isa"
+)
+
+// BenchmarkDataHit measures the L1-hit fast path (the overwhelmingly
+// common case in the cycle loop).
+func BenchmarkDataHit(b *testing.B) {
+	cfg := config.Default()
+	h := NewHierarchy(&cfg)
+	h.Data(0, 0x1000) // install line and translation
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Data(uint64(i)+1_000, 0x1000)
+	}
+}
+
+// BenchmarkDataMissStream measures the allocate-and-expire path: every
+// access misses a fresh line, so each iteration allocates an MSHR and
+// expires old ones as the clock advances.
+func BenchmarkDataMissStream(b *testing.B) {
+	cfg := config.Default()
+	h := NewHierarchy(&cfg)
+	lineBytes := uint64(cfg.L1D.LineBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Data(uint64(i)*4, isa.Addr(uint64(i)*lineBytes))
+	}
+}
+
+// BenchmarkDataMerge measures the hit-under-miss merge path.
+func BenchmarkDataMerge(b *testing.B) {
+	cfg := config.Default()
+	cfg.MemLatency = 1 << 30 // fills effectively never complete
+	h := NewHierarchy(&cfg)
+	h.Data(0, 0x1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := h.Data(uint64(i)+1, 0x1000); !res.Merged {
+			b.Fatal("expected merge")
+		}
+	}
+}
+
+// BenchmarkInFlightData measures the outstanding-miss count the issue
+// stage reads every cycle; it must be O(1), not a map scan.
+func BenchmarkInFlightData(b *testing.B) {
+	cfg := config.Default()
+	cfg.MemLatency = 1 << 30
+	h := NewHierarchy(&cfg)
+	lineBytes := uint64(cfg.L1D.LineBytes)
+	for i := 0; i < 64; i++ {
+		h.Data(0, isa.Addr(uint64(i)*lineBytes))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.InFlightData(uint64(i)) != 64 {
+			b.Fatal("outstanding misses expired unexpectedly")
+		}
+	}
+}

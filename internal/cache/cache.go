@@ -102,6 +102,22 @@ func (c *Cache) Probe(a isa.Addr) bool {
 	return false
 }
 
+// Touch refreshes the LRU stamp of the line containing a if it is present,
+// without access counters (used for merged accesses to in-flight lines,
+// which are accounted as misses but keep the line hot).
+func (c *Cache) Touch(a isa.Addr) {
+	set := c.set(a)
+	tag := uint64(a) >> c.lineBits
+	base := set * c.cfg.Assoc
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.stamp++
+			c.lru[base+w] = c.stamp
+			return
+		}
+	}
+}
+
 // Fill installs the line containing a, evicting the LRU way if needed.
 // It reports the evicted line address and whether an eviction occurred.
 func (c *Cache) Fill(a isa.Addr) (evicted isa.Addr, wasEvicted bool) {
@@ -213,11 +229,89 @@ func (t *TLB) Lookup(a isa.Addr) bool {
 	return false
 }
 
-// mshr tracks one outstanding line miss; duplicate misses to the same line
-// merge onto the existing entry.
-type mshr struct {
-	ready uint64 // cycle at which the fill completes
+// mshrSet tracks the outstanding line misses of one cache port. The map
+// answers "is this line in flight, and until when"; the min-heap of
+// completion times lets expiry advance incrementally with the clock instead
+// of scanning the whole map (the heap holds plain values, so steady-state
+// operation does not allocate).
+type mshrSet struct {
+	ready map[isa.Addr]uint64 // line -> fill-completion cycle
+	heap  []mshrRec           // min-heap ordered by ready
 }
+
+// mshrRec is one heap record. A line that misses again after its fill
+// completed gets a second record; expire matches records against the map's
+// current ready cycle so stale records retire harmlessly.
+type mshrRec struct {
+	ready uint64
+	line  isa.Addr
+}
+
+func newMSHRSet() mshrSet {
+	return mshrSet{ready: make(map[isa.Addr]uint64)}
+}
+
+// expire retires every miss whose fill completed at or before now. Amortized
+// cost is O(log n) per retired miss; n is bounded by the MSHR budget.
+func (s *mshrSet) expire(now uint64) {
+	for len(s.heap) > 0 && s.heap[0].ready <= now {
+		rec := s.heap[0]
+		last := len(s.heap) - 1
+		s.heap[0] = s.heap[last]
+		s.heap = s.heap[:last]
+		if last > 0 {
+			s.siftDown(0)
+		}
+		if r, ok := s.ready[rec.line]; ok && r <= now {
+			delete(s.ready, rec.line)
+		}
+	}
+}
+
+// inFlight reports the line's fill-completion cycle if a miss for it is
+// still outstanding. Callers must expire(now) first.
+func (s *mshrSet) inFlight(line isa.Addr) (uint64, bool) {
+	r, ok := s.ready[line]
+	return r, ok
+}
+
+// add records a new outstanding miss completing at ready.
+func (s *mshrSet) add(line isa.Addr, ready uint64) {
+	s.ready[line] = ready
+	s.heap = append(s.heap, mshrRec{ready: ready, line: line})
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].ready <= s.heap[i].ready {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *mshrSet) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.heap[l].ready < s.heap[min].ready {
+			min = l
+		}
+		if r < n && s.heap[r].ready < s.heap[min].ready {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+}
+
+// count returns the number of outstanding misses. Callers must expire(now)
+// first.
+func (s *mshrSet) count() int { return len(s.ready) }
 
 // Hierarchy glues L1I, L1D, L2, the TLBs and main-memory latency together
 // and owns the MSHR bookkeeping. All methods take the current cycle and
@@ -226,26 +320,24 @@ type Hierarchy struct {
 	L1I, L1D, L2 *Cache
 	ITLB, DTLB   *TLB
 
-	memLat  int
-	tlbLat  int
-	imshrs  map[isa.Addr]*mshr
-	dmshrs  map[isa.Addr]*mshr
-	dmshrsN int // per-thread cap enforced by caller via InFlightData
+	memLat int
+	tlbLat int
+	imshrs mshrSet
+	dmshrs mshrSet
 }
 
 // NewHierarchy builds the hierarchy from the machine configuration.
 func NewHierarchy(cfg *config.Config) *Hierarchy {
 	return &Hierarchy{
-		L1I:     New(cfg.L1I),
-		L1D:     New(cfg.L1D),
-		L2:      New(cfg.L2),
-		ITLB:    NewTLB(cfg.ITLBEntries),
-		DTLB:    NewTLB(cfg.DTLBEntries),
-		memLat:  cfg.MemLatency,
-		tlbLat:  cfg.TLBMissLatency,
-		imshrs:  make(map[isa.Addr]*mshr),
-		dmshrs:  make(map[isa.Addr]*mshr),
-		dmshrsN: cfg.DMSHRs,
+		L1I:    New(cfg.L1I),
+		L1D:    New(cfg.L1D),
+		L2:     New(cfg.L2),
+		ITLB:   NewTLB(cfg.ITLBEntries),
+		DTLB:   NewTLB(cfg.DTLBEntries),
+		memLat: cfg.MemLatency,
+		tlbLat: cfg.TLBMissLatency,
+		imshrs: newMSHRSet(),
+		dmshrs: newMSHRSet(),
 	}
 }
 
@@ -264,16 +356,16 @@ type AccessResult struct {
 // Instr performs an instruction fetch of the line containing a at cycle
 // now.
 func (h *Hierarchy) Instr(now uint64, a isa.Addr) AccessResult {
-	return h.access(now, a, h.L1I, h.ITLB, h.imshrs)
+	return h.access(now, a, h.L1I, h.ITLB, &h.imshrs)
 }
 
 // Data performs a data access (load or store) of the line containing a at
 // cycle now.
 func (h *Hierarchy) Data(now uint64, a isa.Addr) AccessResult {
-	return h.access(now, a, h.L1D, h.DTLB, h.dmshrs)
+	return h.access(now, a, h.L1D, h.DTLB, &h.dmshrs)
 }
 
-func (h *Hierarchy) access(now uint64, a isa.Addr, l1 *Cache, tlb *TLB, mshrs map[isa.Addr]*mshr) AccessResult {
+func (h *Hierarchy) access(now uint64, a isa.Addr, l1 *Cache, tlb *TLB, ms *mshrSet) AccessResult {
 	var res AccessResult
 	penalty := uint64(0)
 	if !tlb.Lookup(a) {
@@ -281,17 +373,28 @@ func (h *Hierarchy) access(now uint64, a isa.Addr, l1 *Cache, tlb *TLB, mshrs ma
 		penalty += uint64(h.tlbLat)
 	}
 	line := l1.LineAddr(a)
+	ms.expire(now)
+	// The fill installs the tag at allocation time, so the MSHR must be
+	// consulted before the tag array: a line whose miss is still in flight
+	// is not usable until the fill completes. Such an access merges onto
+	// the outstanding MSHR and observes its completion cycle — it does not
+	// start a new L2/memory request.
+	if ready, ok := ms.inFlight(line); ok {
+		l1.Accesses++
+		l1.Misses++
+		// The line is being actively used: keep it MRU so it is not the
+		// victim for unrelated fills during its own miss window.
+		l1.Touch(a)
+		res.L1Miss = true
+		res.Merged = true
+		res.Ready = ready + penalty
+		return res
+	}
 	if l1.Lookup(a) {
 		res.Ready = now + penalty + uint64(l1.cfg.HitLatency)
 		return res
 	}
 	res.L1Miss = true
-	// Merge with an outstanding miss for this line if one exists.
-	if m, ok := mshrs[line]; ok && m.ready > now {
-		res.Merged = true
-		res.Ready = m.ready + penalty
-		return res
-	}
 	lat := uint64(l1.cfg.HitLatency)
 	if h.L2.Lookup(a) {
 		lat += uint64(h.L2.cfg.HitLatency)
@@ -302,33 +405,25 @@ func (h *Hierarchy) access(now uint64, a isa.Addr, l1 *Cache, tlb *TLB, mshrs ma
 	}
 	l1.Fill(a)
 	ready := now + penalty + lat
-	mshrs[line] = &mshr{ready: ready}
+	ms.add(line, ready)
 	res.Ready = ready
 	return res
 }
 
 // InFlightData returns the number of data-line misses still outstanding at
 // cycle now. The pipeline uses this to enforce the per-thread MSHR budget.
+// Cost is O(1) plus amortized O(log n) per newly completed fill — never a
+// full scan.
 func (h *Hierarchy) InFlightData(now uint64) int {
-	n := 0
-	for line, m := range h.dmshrs {
-		if m.ready > now {
-			n++
-		} else {
-			delete(h.dmshrs, line)
-		}
-	}
-	return n
+	h.dmshrs.expire(now)
+	return h.dmshrs.count()
 }
 
-// GCInstr drops completed instruction MSHRs; called occasionally to bound
-// map growth on long runs.
-func (h *Hierarchy) GCInstr(now uint64) {
-	for line, m := range h.imshrs {
-		if m.ready <= now {
-			delete(h.imshrs, line)
-		}
-	}
+// InFlightInstr is InFlightData for the instruction port (used by tests and
+// reports).
+func (h *Hierarchy) InFlightInstr(now uint64) int {
+	h.imshrs.expire(now)
+	return h.imshrs.count()
 }
 
 // String summarizes hit rates for debugging.

@@ -1,0 +1,245 @@
+package cache
+
+import (
+	"testing"
+
+	"smtfetch/internal/config"
+	"smtfetch/internal/isa"
+)
+
+// hierarchyLatencies returns the default config's component latencies so
+// test expectations read as formulas, not magic numbers.
+func hierarchyLatencies(cfg *config.Config) (l1, l2, mem, tlb uint64) {
+	return uint64(cfg.L1D.HitLatency), uint64(cfg.L2.HitLatency),
+		uint64(cfg.MemLatency), uint64(cfg.TLBMissLatency)
+}
+
+// TestMSHRMergeObservesFillCompletion is the regression test for the dead
+// hit-under-miss path: a second access to a line whose miss is still in
+// flight must observe the fill-completion cycle with Merged=true, not an
+// instant L1 hit. (On the pre-fix code the second access returned
+// now+HitLatency with Merged=false, because the fill installed the tag at
+// request time.)
+func TestMSHRMergeObservesFillCompletion(t *testing.T) {
+	cfg := config.Default()
+	h := NewHierarchy(&cfg)
+	l1, l2, mem, tlb := hierarchyLatencies(&cfg)
+	addr := isa.Addr(0x4_0000)
+
+	first := h.Data(100, addr)
+	if !first.L1Miss || !first.L2Miss || first.Merged {
+		t.Fatalf("first access: got %+v, want cold L1+L2 miss, not merged", first)
+	}
+	wantReady := 100 + tlb + l1 + l2 + mem
+	if first.Ready != wantReady {
+		t.Fatalf("first access ready = %d, want %d", first.Ready, wantReady)
+	}
+
+	// Same line, one cycle later, while the fill is still in flight.
+	second := h.Data(101, addr+8)
+	if !second.Merged {
+		t.Fatalf("second access to in-flight line not merged: %+v", second)
+	}
+	if !second.L1Miss {
+		t.Fatal("merged access must report L1Miss (the line is not yet present)")
+	}
+	if second.L2Miss {
+		t.Fatal("merged access must not start a new L2/memory request")
+	}
+	if second.Ready != wantReady {
+		t.Fatalf("merged access ready = %d, want the in-flight fill completion %d", second.Ready, wantReady)
+	}
+
+	// Once the fill completes, the line hits normally.
+	third := h.Data(wantReady, addr)
+	if third.L1Miss || third.Merged {
+		t.Fatalf("post-fill access: got %+v, want plain L1 hit", third)
+	}
+	if want := wantReady + l1; third.Ready != want {
+		t.Fatalf("post-fill ready = %d, want %d", third.Ready, want)
+	}
+}
+
+// TestMSHRMergeAddsTLBPenalty checks that a merged access that also misses
+// the TLB still pays its own translation penalty on top of the fill time.
+func TestMSHRMergeAddsTLBPenalty(t *testing.T) {
+	cfg := config.Default()
+	// Shrink the DTLB to one entry so a second page evicts the first.
+	cfg.DTLBEntries = 1
+	h := NewHierarchy(&cfg)
+	_, _, _, tlb := hierarchyLatencies(&cfg)
+
+	addr := isa.Addr(0x4_0000)
+	first := h.Data(0, addr)
+	// Touch another page: evicts addr's translation from the 1-entry TLB.
+	h.Data(1, addr+2*PageBytes)
+	merged := h.Data(2, addr)
+	if !merged.Merged || !merged.TLBMiss {
+		t.Fatalf("got %+v, want merged access with TLB miss", merged)
+	}
+	if want := first.Ready + tlb; merged.Ready != want {
+		t.Fatalf("merged+TLB-miss ready = %d, want fill %d + TLB penalty %d", merged.Ready, first.Ready, tlb)
+	}
+}
+
+// TestMergedAccessKeepsLineHot checks that merging onto an in-flight line
+// refreshes its LRU state: a line being actively waited on must not become
+// the eviction victim of unrelated fills during its own miss window.
+func TestMergedAccessKeepsLineHot(t *testing.T) {
+	cfg := config.Default() // L1D: 256 sets, 2-way, 64B lines
+	h := NewHierarchy(&cfg)
+	setStride := isa.Addr(cfg.L1D.Sets() * cfg.L1D.LineBytes)
+	a := isa.Addr(0x4_0000)
+
+	first := h.Data(0, a)             // A in flight, occupies one way
+	h.Data(1, a+setStride)            // B fills the other way of A's set
+	merged := h.Data(2, a+8)          // merge onto A: must refresh its LRU
+	evict := h.Data(3, a+2*setStride) // C needs a victim: should be B, not A
+	if !merged.Merged || evict.Merged {
+		t.Fatalf("unexpected merge pattern: merged=%+v evict=%+v", merged, evict)
+	}
+	after := h.Data(first.Ready, a)
+	if after.L1Miss {
+		t.Fatal("in-flight line was evicted during its own miss window; merged accesses must keep it MRU")
+	}
+}
+
+// TestInFlightDataCounter checks the incrementally maintained outstanding
+// miss count against allocation and expiry.
+func TestInFlightDataCounter(t *testing.T) {
+	cfg := config.Default()
+	h := NewHierarchy(&cfg)
+
+	if n := h.InFlightData(0); n != 0 {
+		t.Fatalf("idle InFlightData = %d, want 0", n)
+	}
+	lineBytes := isa.Addr(cfg.L1D.LineBytes)
+	// The first miss pays the TLB penalty too, so it completes last.
+	var lastReady uint64
+	for i := 0; i < 5; i++ {
+		res := h.Data(0, isa.Addr(0x8_0000)+isa.Addr(i)*lineBytes)
+		if res.Merged {
+			t.Fatalf("distinct lines must not merge (line %d)", i)
+		}
+		if res.Ready > lastReady {
+			lastReady = res.Ready
+		}
+	}
+	if n := h.InFlightData(1); n != 5 {
+		t.Fatalf("InFlightData after 5 misses = %d, want 5", n)
+	}
+	// Merging onto an existing MSHR must not add an entry.
+	h.Data(2, isa.Addr(0x8_0000)+8)
+	if n := h.InFlightData(2); n != 5 {
+		t.Fatalf("InFlightData after merge = %d, want still 5", n)
+	}
+	if n := h.InFlightData(lastReady); n != 0 {
+		t.Fatalf("InFlightData at fill completion = %d, want 0", n)
+	}
+	// A fresh miss after expiry is tracked again.
+	h.Data(lastReady+1, 0xF_0000)
+	if n := h.InFlightData(lastReady + 1); n != 1 {
+		t.Fatalf("InFlightData after re-miss = %d, want 1", n)
+	}
+}
+
+// TestCacheLRUEvictionOrder fills a 2-way set and checks that the
+// least-recently-used way is the victim.
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	// 2 sets x 2 ways x 64B lines.
+	c := New(config.CacheConfig{SizeBytes: 256, Assoc: 2, LineBytes: 64, HitLatency: 1})
+	set0 := func(i int) isa.Addr { return isa.Addr(i * 128) } // stride 2 lines = same set
+
+	a, b, d := set0(0), set0(1), set0(2)
+	c.Fill(a)
+	c.Fill(b)
+	// Touch a: b becomes LRU.
+	if !c.Lookup(a) {
+		t.Fatal("a should hit after fill")
+	}
+	evicted, was := c.Fill(d)
+	if !was || evicted != b {
+		t.Fatalf("Fill(d) evicted (%#x, %v), want (%#x, true)", uint64(evicted), was, uint64(b))
+	}
+	if c.Probe(b) {
+		t.Fatal("b still resident after eviction")
+	}
+	if !c.Probe(a) || !c.Probe(d) {
+		t.Fatal("a and d should be resident")
+	}
+
+	// Refilling a resident line must not evict anything.
+	if _, was := c.Fill(a); was {
+		t.Fatal("refill of resident line evicted something")
+	}
+}
+
+// TestTLBFillOnMissVictim checks the fully-associative TLB's fill-on-miss
+// behaviour: invalid entries are used first, then the LRU entry.
+func TestTLBFillOnMissVictim(t *testing.T) {
+	tlb := NewTLB(2)
+	page := func(i int) isa.Addr { return isa.Addr(i * PageBytes) }
+
+	if tlb.Lookup(page(0)) {
+		t.Fatal("cold TLB lookup hit")
+	}
+	if tlb.Lookup(page(1)) {
+		t.Fatal("second cold lookup hit")
+	}
+	// Both resident now; refresh page 0 so page 1 is LRU.
+	if !tlb.Lookup(page(0)) {
+		t.Fatal("page 0 should hit")
+	}
+	// Miss on page 2 must evict the LRU entry (page 1), not page 0.
+	if tlb.Lookup(page(2)) {
+		t.Fatal("page 2 should miss")
+	}
+	if !tlb.Lookup(page(0)) {
+		t.Fatal("page 0 evicted, but page 1 was LRU")
+	}
+	if tlb.Lookup(page(1)) {
+		t.Fatal("page 1 should have been the victim")
+	}
+	if tlb.Accesses != 6 || tlb.Misses != 4 {
+		t.Fatalf("counters = %d accesses / %d misses, want 6/4", tlb.Accesses, tlb.Misses)
+	}
+}
+
+// TestBankInterleaving checks line-granularity bank interleaving and the
+// bankless degenerate case.
+func TestBankInterleaving(t *testing.T) {
+	cfg := config.Default().L1I // 64B lines, 8 banks
+	c := New(cfg)
+	for i := 0; i < 32; i++ {
+		a := isa.Addr(i * cfg.LineBytes)
+		if got, want := c.Bank(a), i%cfg.Banks; got != want {
+			t.Fatalf("Bank(%#x) = %d, want %d", uint64(a), got, want)
+		}
+		// All addresses within one line share its bank.
+		if c.Bank(a+isa.Addr(cfg.LineBytes-1)) != c.Bank(a) {
+			t.Fatalf("addresses within line %d map to different banks", i)
+		}
+	}
+	unbanked := New(config.CacheConfig{SizeBytes: 256, Assoc: 2, LineBytes: 64, HitLatency: 1})
+	for i := 0; i < 8; i++ {
+		if got := unbanked.Bank(isa.Addr(i * 64)); got != 0 {
+			t.Fatalf("bankless cache Bank = %d, want 0", got)
+		}
+	}
+}
+
+// TestInstrPortHasOwnMSHRs checks that instruction and data misses to the
+// same line do not merge with each other (split L1s, split MSHR files).
+func TestInstrPortHasOwnMSHRs(t *testing.T) {
+	cfg := config.Default()
+	h := NewHierarchy(&cfg)
+	addr := isa.Addr(0x10_0000)
+	di := h.Instr(0, addr)
+	dd := h.Data(1, addr)
+	if di.Merged || dd.Merged {
+		t.Fatalf("I/D accesses merged across ports: I=%+v D=%+v", di, dd)
+	}
+	if h.InFlightInstr(2) != 1 || h.InFlightData(2) != 1 {
+		t.Fatalf("in-flight counts I=%d D=%d, want 1/1", h.InFlightInstr(2), h.InFlightData(2))
+	}
+}

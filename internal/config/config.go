@@ -324,6 +324,11 @@ func (c *Config) Validate() error {
 			return err
 		}
 	}
+	// Only the fetch stage models bank conflicts, with a uint64 bitmask
+	// over the L1I banks.
+	if c.L1I.Banks > 64 {
+		return fmt.Errorf("config: L1I: at most 64 banks supported, got %d", c.L1I.Banks)
+	}
 	if c.GShareEntries&(c.GShareEntries-1) != 0 {
 		return fmt.Errorf("config: gshare entries must be a power of two, got %d", c.GShareEntries)
 	}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"smtfetch/internal/bench"
+	"smtfetch/internal/config"
+	"smtfetch/internal/prog"
+	"smtfetch/internal/rng"
+)
+
+// newBenchSim builds a warmed-up 4-thread MIX simulator: the workload the
+// paper's Figure 7 analysis centres on, and a realistic mix of I-cache
+// pressure, D-cache misses, and mispredictions for the hot loop.
+func newBenchSim(tb testing.TB, engine config.Engine) *Sim {
+	cfg := config.Default()
+	cfg.Engine = engine
+	w, err := bench.WorkloadByName("4_MIX")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st := uint64(0xB5EED)
+	programs := make([]*prog.Program, len(w.Benchmarks))
+	for i, name := range w.Benchmarks {
+		p, err := bench.Profile(name)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		programs[i] = prog.Build(p, rng.SplitMix64(&st))
+	}
+	s, err := New(cfg, programs, rng.SplitMix64(&st))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Warm caches, predictors, and internal buffers so the measured loop
+	// reflects steady state, not cold-start allocation.
+	s.Run(50_000, 1_000_000)
+	return s
+}
+
+// BenchmarkCycle measures the simulator's hot loop: one call per simulated
+// cycle. allocs/op is the headline number — the cycle loop is required to be
+// allocation-free in steady state.
+func BenchmarkCycle(b *testing.B) {
+	s := newBenchSim(b, config.GShareBTB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cycle()
+	}
+}
+
+// BenchmarkCycleStream is the same loop under the stream fetch engine,
+// whose longer fetch blocks stress the fetch buffer and dependence ring
+// differently.
+func BenchmarkCycleStream(b *testing.B) {
+	s := newBenchSim(b, config.StreamFetch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cycle()
+	}
+}

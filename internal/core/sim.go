@@ -3,6 +3,11 @@
 // stage -> FTQs -> fetch stage) feeding a shared out-of-order back-end
 // (decode/rename, shared ROB and issue queues, ICOUNT fetch policy), with
 // trace-driven wrong-path execution.
+//
+// The cycle loop is allocation-free in steady state: uops come from a
+// per-simulator free list recycled at commit and (after a two-cycle
+// quarantine) at squash, the fetch and decode buffers are ring buffers, and
+// every per-cycle scratch structure is reused.
 package core
 
 import (
@@ -26,7 +31,9 @@ type threadState struct {
 	icount             int
 	predictStallUntil  uint64
 	icacheBlockedUntil uint64
-	// ring resolves dependence distances: PathSeq -> producing uop.
+	// ring resolves dependence distances: PathSeq -> producing uop. Entries
+	// may point at uops that have since been recycled; depReady validates
+	// identity (thread, path kind, PathSeq) before trusting one.
 	ring [1 << ringBits]*pipeline.UOp
 }
 
@@ -46,10 +53,26 @@ type Sim struct {
 	lsFUs   *pipeline.FUPool
 	fpFUs   *pipeline.FUPool
 
-	fetchBuf      []*pipeline.UOp
-	frontPipe     []*pipeline.UOp
+	fetchBuf      *pipeline.UOpRing
+	frontPipe     *pipeline.UOpRing
 	execList      []*pipeline.UOp
 	pendingDecode []*pipeline.UOp
+
+	// freeUOps is the uop free list. Squashed uops pass through a
+	// two-cycle limbo quarantine first, because execList and pendingDecode
+	// drop squashed entries lazily on their next scan.
+	freeUOps []*pipeline.UOp
+	limboCur []*pipeline.UOp
+	limboOld []*pipeline.UOp
+
+	// Reusable per-cycle scratch: thread order, ICOUNT values, and the
+	// fetch-stage bank-conflict bitmask.
+	orderBuf  []int
+	icountBuf []int
+	usedBanks uint64
+
+	fetchEligible   func(t int) bool
+	predictEligible func(t int) bool
 
 	threads  []threadState
 	nthreads int
@@ -88,6 +111,11 @@ func New(cfg config.Config, programs []*prog.Program, seed uint64) (*Sim, error)
 		threads:  make([]threadState, n),
 		nthreads: n,
 
+		fetchBuf:  pipeline.NewUOpRing(cfg.FetchBufferSize),
+		frontPipe: pipeline.NewUOpRing(2 * cfg.FetchBufferSize),
+		orderBuf:  make([]int, 0, n),
+		icountBuf: make([]int, n),
+
 		frontLatency: cfg.DecodeStages + cfg.RenameStages,
 		mshrCap:      cfg.DMSHRs * n,
 	}
@@ -96,6 +124,21 @@ func New(cfg config.Config, programs []*prog.Program, seed uint64) (*Sim, error)
 	s.iqs[pipeline.QLoadStore] = pipeline.NewIssueQueue(cfg.LSQueueSize)
 	s.iqs[pipeline.QFloat] = pipeline.NewIssueQueue(cfg.FPQueueSize)
 	s.st = stats.New(n, cfg.FetchPolicy.Width)
+	// Built once so the per-cycle Prioritize calls never allocate a
+	// closure.
+	s.fetchEligible = func(t int) bool {
+		ts := &s.threads[t]
+		if ts.icacheBlockedUntil > s.now {
+			return false
+		}
+		return s.fe.Queue(t).Len() > 0
+	}
+	s.predictEligible = func(t int) bool {
+		if s.threads[t].predictStallUntil > s.now {
+			return false
+		}
+		return s.fe.CanPredict(t)
+	}
 	return s, nil
 }
 
@@ -108,11 +151,11 @@ func (s *Sim) Config() config.Config { return *s.cfg }
 // Cycles returns the current cycle count.
 func (s *Sim) Cycles() uint64 { return s.now }
 
-// ResetStats zeroes the statistics counters (used to exclude warm-up).
+// ResetStats replaces the statistics counters with fresh zeroed ones, so
+// that everything accumulated so far (the warm-up phase) is excluded from
+// subsequently reported numbers.
 func (s *Sim) ResetStats() {
-	old := s.st
 	s.st = stats.New(s.nthreads, s.cfg.FetchPolicy.Width)
-	_ = old
 }
 
 // Run simulates until totalCommits instructions have committed or
@@ -126,9 +169,18 @@ func (s *Sim) Run(totalCommits, maxCycles uint64) *stats.Stats {
 	return s.st
 }
 
+// RunCycles simulates exactly n cycles (used for cycle-based warm-up).
+func (s *Sim) RunCycles(n uint64) *stats.Stats {
+	for limit := s.now + n; s.now < limit; {
+		s.Cycle()
+	}
+	return s.st
+}
+
 // Cycle advances the processor one cycle. Stages run back to front so a
 // resource freed this cycle is usable next cycle, not instantaneously.
 func (s *Sim) Cycle() {
+	s.recycleLimbo()
 	s.commit()
 	s.writeback()
 	s.decodeResolve()
@@ -139,25 +191,47 @@ func (s *Sim) Cycle() {
 	s.predictStage()
 	s.now++
 	s.st.Cycles++
-	if s.now%4096 == 0 {
-		s.hier.GCInstr(s.now)
-	}
 }
 
-// icounts gathers the per-thread ICOUNT values.
-func (s *Sim) icounts() []int {
-	out := make([]int, s.nthreads)
-	for i := range s.threads {
-		out[i] = s.threads[i].icount
+// recycleLimbo returns quarantined squashed uops to the free list. A uop
+// squashed during cycle N may still sit in execList or pendingDecode until
+// their cycle-N+1 scans drop it, so it becomes reusable at the top of cycle
+// N+2 — exactly when it leaves limboOld.
+func (s *Sim) recycleLimbo() {
+	for i, u := range s.limboOld {
+		s.freeUOps = append(s.freeUOps, u)
+		s.limboOld[i] = nil
 	}
-	return out
+	s.limboOld, s.limboCur = s.limboCur, s.limboOld[:0]
+}
+
+// allocUOp takes a uop from the free list (or the heap when the list is
+// empty) and resets it.
+func (s *Sim) allocUOp() *pipeline.UOp {
+	if n := len(s.freeUOps); n > 0 {
+		u := s.freeUOps[n-1]
+		s.freeUOps[n-1] = nil
+		s.freeUOps = s.freeUOps[:n-1]
+		*u = pipeline.UOp{}
+		return u
+	}
+	return new(pipeline.UOp)
+}
+
+// icounts gathers the per-thread ICOUNT values into the reused scratch
+// slice.
+func (s *Sim) icounts() []int {
+	for i := range s.threads {
+		s.icountBuf[i] = s.threads[i].icount
+	}
+	return s.icountBuf
 }
 
 // ---------------------------------------------------------------- commit
 
 func (s *Sim) commit() {
 	budget := s.cfg.CommitWidth
-	start := int(s.now) % s.nthreads
+	start := int(s.now % uint64(s.nthreads))
 	for i := 0; i < s.nthreads && budget > 0; i++ {
 		t := (start + i) % s.nthreads
 		for budget > 0 {
@@ -176,6 +250,11 @@ func (s *Sim) commit() {
 			if u.IsBranch() || u.Info != nil {
 				s.commitBranch(t, u)
 			}
+			// Commit is the uop's last use: it has left the ROB, the
+			// issue queues, and the exec list; the dependence ring
+			// validates identity before trusting its (possibly stale)
+			// pointer.
+			s.freeUOps = append(s.freeUOps, u)
 		}
 	}
 }
@@ -319,12 +398,14 @@ func (s *Sim) startExec(u *pipeline.UOp) {
 		if res.L1Miss {
 			s.st.DCacheMisses++
 			if !res.Merged {
+				// A merged access rides an already-counted L2 request
+				// and occupies no new MSHR.
 				s.inFlightData++
+				s.st.L2Accesses++
+				if res.L2Miss {
+					s.st.L2Misses++
+				}
 			}
-			if res.L2Miss {
-				s.st.L2Misses++
-			}
-			s.st.L2Accesses++
 		}
 		ready = res.Ready
 	case isa.Store:
@@ -334,9 +415,11 @@ func (s *Sim) startExec(u *pipeline.UOp) {
 		s.st.DCacheAccesses++
 		if res.L1Miss {
 			s.st.DCacheMisses++
-			s.st.L2Accesses++
-			if res.L2Miss {
-				s.st.L2Misses++
+			if !res.Merged {
+				s.st.L2Accesses++
+				if res.L2Miss {
+					s.st.L2Misses++
+				}
 			}
 		}
 		ready = s.now + 1
@@ -356,9 +439,12 @@ func (s *Sim) depReady(u *pipeline.UOp, d uint16) bool {
 	}
 	want := u.PathSeq - uint64(d)
 	p := s.threads[u.Thread].ring[want&((1<<ringBits)-1)]
-	if p == nil || p.PathSeq != want || p.Ghost != u.Ghost || p.Squashed {
-		// Producer already left the window (or belongs to a stale
-		// path): its value is architecturally available.
+	if p == nil || p.PathSeq != want || p.Thread != u.Thread || p.Ghost != u.Ghost || p.Squashed {
+		// Producer already left the window, was recycled into a
+		// different uop, or belongs to a stale path: its value is
+		// architecturally available. (PathSeq is monotonic per thread
+		// and per path kind, so a recycled uop can never impersonate
+		// the producer.)
 		return true
 	}
 	if !p.HasDest {
@@ -371,10 +457,10 @@ func (s *Sim) depReady(u *pipeline.UOp, d uint16) bool {
 
 func (s *Sim) dispatch() {
 	budget := s.cfg.DecodeWidth
-	for budget > 0 && len(s.frontPipe) > 0 {
-		u := s.frontPipe[0]
+	for budget > 0 && s.frontPipe.Len() > 0 {
+		u := s.frontPipe.At(0)
 		if u.Squashed {
-			s.frontPipe = s.frontPipe[1:]
+			s.frontPipe.PopHead()
 			continue
 		}
 		if s.now < u.EnterFront+uint64(s.frontLatency) {
@@ -403,7 +489,7 @@ func (s *Sim) dispatch() {
 		s.rob.Dispatch(u)
 		s.iqs[kind].Add(u)
 		u.Dispatched = true
-		s.frontPipe = s.frontPipe[1:]
+		s.frontPipe.PopHead()
 		budget--
 	}
 }
@@ -412,9 +498,8 @@ func (s *Sim) dispatch() {
 // pipe.
 func (s *Sim) decodeAdvance() {
 	budget := s.cfg.DecodeWidth
-	for budget > 0 && len(s.fetchBuf) > 0 {
-		u := s.fetchBuf[0]
-		s.fetchBuf = s.fetchBuf[1:]
+	for budget > 0 && s.fetchBuf.Len() > 0 {
+		u := s.fetchBuf.PopHead()
 		if u.Squashed {
 			continue
 		}
@@ -423,7 +508,7 @@ func (s *Sim) decodeAdvance() {
 		if u.Info != nil && u.Info.Resolve == ftq.ResolveDecode && !u.Ghost {
 			s.pendingDecode = append(s.pendingDecode, u)
 		}
-		s.frontPipe = append(s.frontPipe, u)
+		s.frontPipe.Push(u)
 		budget--
 	}
 }
@@ -431,7 +516,7 @@ func (s *Sim) decodeAdvance() {
 // ------------------------------------------------------------ fetch stage
 
 func (s *Sim) fetchStage() {
-	room := s.cfg.FetchBufferSize - len(s.fetchBuf)
+	room := s.cfg.FetchBufferSize - s.fetchBuf.Len()
 	if room <= 0 {
 		s.st.FetchBufStalls++
 		return
@@ -441,14 +526,8 @@ func (s *Sim) fetchStage() {
 		width = room
 	}
 
-	eligible := func(t int) bool {
-		ts := &s.threads[t]
-		if ts.icacheBlockedUntil > s.now {
-			return false
-		}
-		return s.fe.Queue(t).Len() > 0
-	}
-	order := fetch.Prioritize(s.cfg.FetchPolicy.Policy, s.icounts(), eligible, s.now, s.cfg.FetchPolicy.Threads)
+	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.icounts(), s.fetchEligible, s.now, s.cfg.FetchPolicy.Threads)
+	s.orderBuf = order[:0]
 	// Count an attempted fetch cycle also when every eligible thread is
 	// blocked on the I-cache (the fetch unit had requests but delivered
 	// nothing).
@@ -466,12 +545,12 @@ func (s *Sim) fetchStage() {
 	}
 
 	delivered := 0
-	usedBanks := map[int]bool{}
+	s.usedBanks = 0
 	for _, t := range order {
 		if delivered >= width {
 			break
 		}
-		n := s.fetchFromThread(t, width-delivered, usedBanks)
+		n := s.fetchFromThread(t, width-delivered)
 		delivered += n
 	}
 	s.st.FetchCycles++
@@ -484,9 +563,10 @@ func (s *Sim) fetchStage() {
 }
 
 // fetchFromThread delivers up to budget instructions from thread t's FTQ
-// head request, honouring cache-line supply limits and bank conflicts.
-// It returns the number of instructions delivered.
-func (s *Sim) fetchFromThread(t, budget int, usedBanks map[int]bool) int {
+// head request, honouring cache-line supply limits and bank conflicts
+// (tracked in the s.usedBanks bitmask). It returns the number of
+// instructions delivered.
+func (s *Sim) fetchFromThread(t, budget int) int {
 	ts := &s.threads[t]
 	q := s.fe.Queue(t)
 	req := q.Head()
@@ -512,10 +592,14 @@ func (s *Sim) fetchFromThread(t, budget int, usedBanks map[int]bool) int {
 	}
 
 	// Bank conflict check against lines already read this cycle.
-	b1 := s.hier.L1I.Bank(line1)
+	b1 := uint64(1) << uint(s.hier.L1I.Bank(line1))
 	lastAddr := pc + isa.Addr((span-1)*isa.InstrSize)
 	line2 := lastAddr &^ (lineBytes - 1)
-	if usedBanks[b1] || (line2 != line1 && usedBanks[s.hier.L1I.Bank(line2)]) {
+	b2 := uint64(0)
+	if line2 != line1 {
+		b2 = uint64(1) << uint(s.hier.L1I.Bank(line2))
+	}
+	if s.usedBanks&(b1|b2) != 0 {
 		return 0
 	}
 
@@ -527,23 +611,27 @@ func (s *Sim) fetchFromThread(t, budget int, usedBanks map[int]bool) int {
 	}
 	if res.L1Miss {
 		s.st.ICacheMisses++
-		s.st.L2Accesses++
-		if res.L2Miss {
-			s.st.L2Misses++
+		if !res.Merged {
+			s.st.L2Accesses++
+			if res.L2Miss {
+				s.st.L2Misses++
+			}
 		}
 		ts.icacheBlockedUntil = res.Ready
 		s.st.PerThread[t].ICacheMissStall += res.Ready - s.now
 		return 0
 	}
-	usedBanks[b1] = true
+	s.usedBanks |= b1
 	if line2 != line1 {
 		s.st.ICacheAccesses++
 		res2 := s.hier.Instr(s.now, line2)
 		if res2.L1Miss {
 			s.st.ICacheMisses++
-			s.st.L2Accesses++
-			if res2.L2Miss {
-				s.st.L2Misses++
+			if !res2.Merged {
+				s.st.L2Accesses++
+				if res2.L2Miss {
+					s.st.L2Misses++
+				}
 			}
 			// Deliver only the first line's portion; the thread
 			// blocks until the second line arrives.
@@ -554,7 +642,7 @@ func (s *Sim) fetchFromThread(t, budget int, usedBanks map[int]bool) int {
 				return 0
 			}
 		} else {
-			usedBanks[s.hier.L1I.Bank(line2)] = true
+			s.usedBanks |= b2
 		}
 	}
 
@@ -562,18 +650,17 @@ func (s *Sim) fetchFromThread(t, budget int, usedBanks map[int]bool) int {
 	for i := 0; i < span; i++ {
 		idx := req.Consumed + i
 		s.gseq++
-		u := &pipeline.UOp{
-			Instruction: req.Instrs[idx],
-			Info:        req.Branch[idx],
-			Thread:      t,
-			Ghost:       req.WrongPath,
-			GSeq:        s.gseq,
-			FetchedAt:   s.now,
-			InICount:    true,
-		}
+		u := s.allocUOp()
+		u.Instruction = req.Instrs[idx]
+		u.Info = req.Branch[idx]
+		u.Thread = t
+		u.Ghost = req.WrongPath
+		u.GSeq = s.gseq
+		u.FetchedAt = s.now
+		u.InICount = true
 		ts.icount++
 		ts.ring[u.PathSeq&((1<<ringBits)-1)] = u
-		s.fetchBuf = append(s.fetchBuf, u)
+		s.fetchBuf.Push(u)
 		s.st.PerThread[t].Fetched++
 	}
 	req.Consumed += span
@@ -586,13 +673,8 @@ func (s *Sim) fetchFromThread(t, budget int, usedBanks map[int]bool) int {
 // ---------------------------------------------------------- predict stage
 
 func (s *Sim) predictStage() {
-	eligible := func(t int) bool {
-		if s.threads[t].predictStallUntil > s.now {
-			return false
-		}
-		return s.fe.CanPredict(t)
-	}
-	order := fetch.Prioritize(s.cfg.FetchPolicy.Policy, s.icounts(), eligible, s.now, s.cfg.FetchPolicy.Threads)
+	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.icounts(), s.predictEligible, s.now, s.cfg.FetchPolicy.Threads)
+	s.orderBuf = order[:0]
 	for _, t := range order {
 		if req := s.fe.Predict(t); req != nil {
 			s.st.FetchBlocks++
@@ -604,14 +686,17 @@ func (s *Sim) predictStage() {
 // -------------------------------------------------------------- recovery
 
 // recover squashes everything younger than u on u's thread and redirects
-// the front-end.
+// the front-end. Squashed uops go to limbo, not straight to the free list:
+// execList and pendingDecode drop them lazily next cycle.
 func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 	t := u.Thread
 	ts := &s.threads[t]
 
 	// Back end: ROB tail (covers issue queues and exec list via the
 	// Squashed flag).
-	for _, v := range s.rob.SquashYounger(t, u.GSeq) {
+	start := len(s.limboCur)
+	s.limboCur = s.rob.SquashYounger(t, u.GSeq, s.limboCur)
+	for _, v := range s.limboCur[start:] {
 		s.releaseReg(v)
 		if v.InICount {
 			v.InICount = false
@@ -624,8 +709,8 @@ func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 		q.DropSquashed()
 	}
 	// Front end buffers.
-	s.fetchBuf = squashFilter(s.fetchBuf, t, u.GSeq, ts, s.st)
-	s.frontPipe = squashFilter(s.frontPipe, t, u.GSeq, ts, s.st)
+	s.squashRing(s.fetchBuf, t, u.GSeq, ts)
+	s.squashRing(s.frontPipe, t, u.GSeq, ts)
 
 	s.fe.Recover(t, u.Info, &u.Instruction, u.NextPC())
 	ts.predictStallUntil = s.now + uint64(penalty)
@@ -635,23 +720,21 @@ func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 	}
 }
 
-func squashFilter(buf []*pipeline.UOp, t int, gseq uint64, ts *threadState, st *stats.Stats) []*pipeline.UOp {
-	out := buf[:0]
-	for _, v := range buf {
+// squashRing removes thread t's uops younger than gseq from a front-end
+// ring, marking them squashed and quarantining them in limbo.
+func (s *Sim) squashRing(r *pipeline.UOpRing, t int, gseq uint64, ts *threadState) {
+	r.Filter(func(v *pipeline.UOp) bool {
 		if v.Thread == t && v.GSeq > gseq && !v.Squashed {
 			v.Squashed = true
 			if v.InICount {
 				v.InICount = false
 				ts.icount--
 			}
-			st.Squashed++
-			st.PerThread[t].Squashed++
-			continue
+			s.st.Squashed++
+			s.st.PerThread[t].Squashed++
+			s.limboCur = append(s.limboCur, v)
+			return false
 		}
-		out = append(out, v)
-	}
-	for i := len(out); i < len(buf); i++ {
-		buf[i] = nil
-	}
-	return out
+		return true
+	})
 }

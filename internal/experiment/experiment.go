@@ -72,8 +72,10 @@ type Sweep struct {
 	Jobs int
 
 	// Simulation phase lengths; zero values take the smtfetch defaults
-	// (200k warmup, 1M measure, 50M max cycles).
+	// (200k warmup, 1M measure, 50M max cycles). WarmupCycles adds a
+	// fixed cycle-based warm-up phase after the instruction-based one.
 	WarmupInstrs  uint64
+	WarmupCycles  uint64
 	MeasureInstrs uint64
 	MaxCycles     uint64
 

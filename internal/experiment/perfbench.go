@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"smtfetch"
+	"smtfetch/internal/config"
+)
+
+// PerfBench runs a fixed grid of cells serially and measures simulator
+// throughput, not simulated performance: kilo-cycles per wall second, MIPS
+// (millions of simulated instructions per wall second), and heap allocation
+// per simulated cycle via runtime.MemStats. The emitted JSON gives future
+// PRs a perf trajectory to beat.
+type PerfBench struct {
+	// Workloads, Engines, Policies define the grid; empty axes take a
+	// fixed default (2_MIX/4_MIX/8_MIX × all engines × ICOUNT.1.8) so the
+	// numbers stay comparable across PRs.
+	Workloads []string
+	Engines   []config.Engine
+	Policies  []config.FetchPolicy
+
+	// WarmupInstrs/MeasureInstrs size each cell's phases; zero takes the
+	// bench defaults (50k / 300k).
+	WarmupInstrs  uint64
+	MeasureInstrs uint64
+
+	// OnCell, when non-nil, is called after each cell with progress.
+	OnCell func(done, total int, c PerfCell)
+}
+
+// PerfCell is one measured cell of a perf-bench run.
+type PerfCell struct {
+	Workload string `json:"workload"`
+	Engine   string `json:"engine"`
+	Policy   string `json:"policy"`
+
+	Cycles    uint64 `json:"cycles"`
+	Committed uint64 `json:"committed"`
+	WallNS    int64  `json:"wall_ns"`
+
+	// KiloCyclesPerSec is simulated kilo-cycles per wall-clock second.
+	KiloCyclesPerSec float64 `json:"kilo_cycles_per_sec"`
+	// MIPS is millions of committed instructions per wall-clock second.
+	MIPS float64 `json:"mips"`
+	// AllocsPerCycle / BytesPerCycle are heap allocations (objects and
+	// bytes) per simulated cycle during measurement, from
+	// runtime.MemStats.
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+
+	// IPC is recorded so perf numbers always travel with the timing
+	// behaviour they were measured on.
+	IPC float64 `json:"ipc"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// PerfReport is the on-disk perf-bench schema.
+type PerfReport struct {
+	SchemaVersion int        `json:"schema_version"`
+	GoVersion     string     `json:"go_version"`
+	GOOS          string     `json:"goos"`
+	GOARCH        string     `json:"goarch"`
+	Timestamp     string     `json:"timestamp"`
+	WarmupInstrs  uint64     `json:"warmup_instrs"`
+	MeasureInstrs uint64     `json:"measure_instrs"`
+	Cells         []PerfCell `json:"cells"`
+}
+
+// PerfSchemaVersion is the current perf-bench JSON schema version.
+const PerfSchemaVersion = 1
+
+// Run executes the perf bench. Cells run serially on one goroutine so the
+// wall-clock and MemStats numbers are not polluted by sibling cells.
+func (p *PerfBench) Run() (*PerfReport, error) {
+	workloads := p.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"2_MIX", "4_MIX", "8_MIX"}
+	}
+	engines := p.Engines
+	if len(engines) == 0 {
+		engines = config.Engines()
+	}
+	policies := p.Policies
+	if len(policies) == 0 {
+		policies = []config.FetchPolicy{config.ICount18}
+	}
+	warmup := p.WarmupInstrs
+	if warmup == 0 {
+		warmup = 50_000
+	}
+	measure := p.MeasureInstrs
+	if measure == 0 {
+		measure = 300_000
+	}
+
+	rep := &PerfReport{
+		SchemaVersion: PerfSchemaVersion,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		WarmupInstrs:  warmup,
+		MeasureInstrs: measure,
+	}
+	total := len(workloads) * len(engines) * len(policies)
+	for _, w := range workloads {
+		for _, e := range engines {
+			for _, pol := range policies {
+				c := p.runCell(w, e, pol, warmup, measure)
+				rep.Cells = append(rep.Cells, c)
+				if p.OnCell != nil {
+					p.OnCell(len(rep.Cells), total, c)
+				}
+			}
+		}
+	}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			return rep, fmt.Errorf("experiment: perf cell %s/%s/%s: %s", c.Workload, c.Engine, c.Policy, c.Error)
+		}
+	}
+	return rep, nil
+}
+
+func (p *PerfBench) runCell(w string, e config.Engine, pol config.FetchPolicy, warmup, measure uint64) PerfCell {
+	c := PerfCell{Workload: w, Engine: e.String(), Policy: pol.String()}
+	sim, err := smtfetch.New(smtfetch.Options{
+		Workload: w,
+		Engine:   e,
+		Policy:   pol,
+		Seed:     CellSeed(Cell{Workload: w, Engine: e, Policy: pol, Seed: 1}),
+	})
+	if err != nil {
+		c.Error = err.Error()
+		return c
+	}
+	core := sim.Core()
+	// Warm the simulator (caches, predictors, free lists) outside the
+	// measured window, then settle the heap so MemStats deltas reflect
+	// steady-state allocation only.
+	core.Run(warmup, 50_000_000)
+	core.ResetStats()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	st := core.Run(measure, 50_000_000)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	c.Cycles = st.Cycles
+	c.Committed = st.Committed
+	c.WallNS = wall.Nanoseconds()
+	if sec := wall.Seconds(); sec > 0 {
+		c.KiloCyclesPerSec = float64(st.Cycles) / sec / 1e3
+		c.MIPS = float64(st.Committed) / sec / 1e6
+	}
+	if st.Cycles > 0 {
+		c.AllocsPerCycle = float64(after.Mallocs-before.Mallocs) / float64(st.Cycles)
+		c.BytesPerCycle = float64(after.TotalAlloc-before.TotalAlloc) / float64(st.Cycles)
+	}
+	c.IPC = st.IPC()
+	return c
+}
+
+// WritePerfJSON writes the report as indented JSON.
+func WritePerfJSON(w io.Writer, rep *PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// PerfTable renders the report as an aligned text table.
+func PerfTable(rep *PerfReport) string {
+	rows := make([][]string, 0, len(rep.Cells)+1)
+	rows = append(rows, []string{"WORKLOAD", "ENGINE", "POLICY", "KCYC/S", "MIPS", "ALLOC/CYC", "B/CYC", "IPC"})
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			rows = append(rows, []string{c.Workload, c.Engine, c.Policy, "ERROR: " + c.Error, "", "", "", ""})
+			continue
+		}
+		rows = append(rows, []string{
+			c.Workload, c.Engine, c.Policy,
+			fmt.Sprintf("%.0f", c.KiloCyclesPerSec),
+			fmt.Sprintf("%.2f", c.MIPS),
+			fmt.Sprintf("%.3f", c.AllocsPerCycle),
+			fmt.Sprintf("%.1f", c.BytesPerCycle),
+			fmt.Sprintf("%.3f", c.IPC),
+		})
+	}
+	return renderAligned(rows)
+}

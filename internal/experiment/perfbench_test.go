@@ -1,0 +1,81 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"smtfetch/internal/config"
+)
+
+// TestPerfBenchProducesReport runs a tiny real perf bench and checks the
+// report is complete, positive, and serializable.
+func TestPerfBenchProducesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulator run; skipped with -short")
+	}
+	pb := PerfBench{
+		Workloads:     []string{"2_MIX"},
+		Engines:       []config.Engine{config.GShareBTB, config.StreamFetch},
+		Policies:      []config.FetchPolicy{config.ICount18},
+		WarmupInstrs:  2_000,
+		MeasureInstrs: 5_000,
+	}
+	var progress int
+	pb.OnCell = func(done, total int, c PerfCell) { progress++ }
+
+	rep, err := pb.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 || progress != 2 {
+		t.Fatalf("got %d cells, %d progress calls, want 2/2", len(rep.Cells), progress)
+	}
+	if rep.SchemaVersion != PerfSchemaVersion || rep.GoVersion == "" || rep.Timestamp == "" {
+		t.Fatalf("incomplete report header: %+v", rep)
+	}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s/%s errored: %s", c.Workload, c.Engine, c.Error)
+		}
+		if c.Cycles == 0 || c.Committed == 0 || c.WallNS <= 0 {
+			t.Fatalf("cell %s/%s has empty measurements: %+v", c.Workload, c.Engine, c)
+		}
+		if c.KiloCyclesPerSec <= 0 || c.MIPS <= 0 || c.IPC <= 0 {
+			t.Fatalf("cell %s/%s has non-positive rates: %+v", c.Workload, c.Engine, c)
+		}
+		if c.AllocsPerCycle < 0 {
+			t.Fatalf("cell %s/%s negative allocs/cycle", c.Workload, c.Engine)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WritePerfJSON(&sb, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, needle := range []string{"\"schema_version\": 1", "\"kilo_cycles_per_sec\"", "\"allocs_per_cycle\"", "2_MIX"} {
+		if !strings.Contains(sb.String(), needle) {
+			t.Fatalf("perf JSON missing %q:\n%s", needle, sb.String())
+		}
+	}
+	if tbl := PerfTable(rep); !strings.Contains(tbl, "KCYC/S") || !strings.Contains(tbl, "stream") {
+		t.Fatalf("perf table malformed:\n%s", tbl)
+	}
+}
+
+// TestPerfBenchRejectsBadWorkload checks error propagation.
+func TestPerfBenchRejectsBadWorkload(t *testing.T) {
+	pb := PerfBench{
+		Workloads:     []string{"9_NOPE"},
+		Engines:       []config.Engine{config.GShareBTB},
+		Policies:      []config.FetchPolicy{config.ICount18},
+		WarmupInstrs:  1,
+		MeasureInstrs: 1,
+	}
+	rep, err := pb.Run()
+	if err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+	if len(rep.Cells) != 1 || rep.Cells[0].Error == "" {
+		t.Fatal("failing cell not recorded in report")
+	}
+}

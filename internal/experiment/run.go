@@ -14,6 +14,7 @@ var runner = func(s *Sweep, c Cell) Result {
 		Policy:        c.Policy,
 		Seed:          CellSeed(c),
 		WarmupInstrs:  s.WarmupInstrs,
+		WarmupCycles:  s.WarmupCycles,
 		MeasureInstrs: s.MeasureInstrs,
 		MaxCycles:     s.MaxCycles,
 		Machine:       s.Machine,

@@ -1,0 +1,51 @@
+package fetch
+
+import (
+	"testing"
+
+	"smtfetch/internal/bench"
+	"smtfetch/internal/config"
+	"smtfetch/internal/prog"
+	"smtfetch/internal/rng"
+)
+
+// BenchmarkPrioritize measures the thread-selection path the simulator
+// runs twice per cycle (prediction stage and fetch stage).
+func BenchmarkPrioritize(b *testing.B) {
+	icounts := []int{3, 0, 7, 2, 2, 9, 1, 4}
+	eligible := func(t int) bool { return t != 5 }
+	scratch := make([]int, 0, len(icounts))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := PrioritizeInto(scratch, config.ICount, icounts, eligible, uint64(i), 2)
+		scratch = out[:0]
+	}
+}
+
+// BenchmarkPredict measures fetch-block formation (prediction stage) for
+// each engine: the dominant remaining allocation site in the cycle loop.
+func BenchmarkPredict(b *testing.B) {
+	for _, eng := range config.Engines() {
+		b.Run(eng.String(), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.Engine = eng
+			st := uint64(0xF00D)
+			programs := []*prog.Program{
+				prog.Build(bench.MustProfile("gzip"), rng.SplitMix64(&st)),
+				prog.Build(bench.MustProfile("twolf"), rng.SplitMix64(&st)),
+			}
+			fe := New(&cfg, programs, rng.SplitMix64(&st))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := i & 1
+				req := fe.Predict(t)
+				if req == nil {
+					// FTQ full: drain it and keep predicting.
+					fe.Queue(t).Clear()
+				}
+			}
+		})
+	}
+}

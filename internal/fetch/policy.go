@@ -1,37 +1,45 @@
 package fetch
 
 import (
-	"sort"
-
 	"smtfetch/internal/config"
 )
 
-// Prioritize orders the eligible threads by fetch-policy priority and
-// returns at most max of them. For ICOUNT, threads with the fewest
-// instructions in the pre-issue stages come first (ties broken by thread id
-// rotated by the cycle to avoid systematic bias). For Round-Robin the
-// rotation alone decides.
+// PrioritizeInto orders the eligible threads by fetch-policy priority into
+// dst (whose contents are discarded) and returns at most max of them. For
+// ICOUNT, threads with the fewest instructions in the pre-issue stages come
+// first (ties broken by thread id rotated by the cycle to avoid systematic
+// bias). For Round-Robin the rotation alone decides.
 //
 // Both the prediction stage (choosing which thread gets the predictor this
 // cycle) and the fetch stage (choosing which FTQs drive the I-cache) use
-// this ordering, as in the paper.
-func Prioritize(policy config.Policy, icounts []int, eligible func(t int) bool, cycle uint64, max int) []int {
+// this ordering, as in the paper. Passing a reused scratch slice as dst
+// keeps both stages allocation-free; the sort is a stable insertion sort
+// (thread counts are tiny), which matches sort.SliceStable's ordering
+// exactly while avoiding its closure and reflection costs.
+func PrioritizeInto(dst []int, policy config.Policy, icounts []int, eligible func(t int) bool, cycle uint64, max int) []int {
 	n := len(icounts)
-	cands := make([]int, 0, n)
+	dst = dst[:0]
 	rot := int(cycle % uint64(n))
 	for i := 0; i < n; i++ {
 		t := (i + rot) % n
 		if eligible(t) {
-			cands = append(cands, t)
+			dst = append(dst, t)
 		}
 	}
 	if policy == config.ICount {
-		sort.SliceStable(cands, func(a, b int) bool {
-			return icounts[cands[a]] < icounts[cands[b]]
-		})
+		for i := 1; i < len(dst); i++ {
+			for j := i; j > 0 && icounts[dst[j]] < icounts[dst[j-1]]; j-- {
+				dst[j], dst[j-1] = dst[j-1], dst[j]
+			}
+		}
 	}
-	if len(cands) > max {
-		cands = cands[:max]
+	if len(dst) > max {
+		dst = dst[:max]
 	}
-	return cands
+	return dst
+}
+
+// Prioritize is PrioritizeInto with a fresh result slice.
+func Prioritize(policy config.Policy, icounts []int, eligible func(t int) bool, cycle uint64, max int) []int {
+	return PrioritizeInto(nil, policy, icounts, eligible, cycle, max)
 }

@@ -1,0 +1,90 @@
+package fetch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"smtfetch/internal/config"
+)
+
+// referencePrioritize is the original sort.SliceStable implementation; the
+// allocation-free insertion sort must order identically in every case.
+func referencePrioritize(policy config.Policy, icounts []int, eligible func(t int) bool, cycle uint64, max int) []int {
+	n := len(icounts)
+	cands := make([]int, 0, n)
+	rot := int(cycle % uint64(n))
+	for i := 0; i < n; i++ {
+		t := (i + rot) % n
+		if eligible(t) {
+			cands = append(cands, t)
+		}
+	}
+	if policy == config.ICount {
+		sort.SliceStable(cands, func(a, b int) bool {
+			return icounts[cands[a]] < icounts[cands[b]]
+		})
+	}
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	return cands
+}
+
+// TestPrioritizeMatchesReference fuzzes thread counts, icounts (with
+// plenty of ties), eligibility masks, cycles, and caps.
+func TestPrioritizeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scratch := make([]int, 0, 8)
+	for iter := 0; iter < 50_000; iter++ {
+		n := 1 + rng.Intn(8)
+		icounts := make([]int, n)
+		for i := range icounts {
+			icounts[i] = rng.Intn(4) // small range forces ties
+		}
+		mask := rng.Intn(1 << n)
+		eligible := func(t int) bool { return mask&(1<<t) != 0 }
+		cycle := uint64(rng.Intn(1000))
+		max := 1 + rng.Intn(n)
+		policy := config.ICount
+		if rng.Intn(2) == 0 {
+			policy = config.RoundRobin
+		}
+
+		want := referencePrioritize(policy, icounts, eligible, cycle, max)
+		got := PrioritizeInto(scratch, policy, icounts, eligible, cycle, max)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: len %d vs %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: order %v vs %v (icounts %v, mask %b, cycle %d, max %d)",
+					iter, got, want, icounts, mask, cycle, max)
+			}
+		}
+		scratch = got[:0]
+	}
+}
+
+// TestPrioritizeICountOrder pins the documented semantics on a hand case:
+// lowest icount first, ties broken by rotated thread id.
+func TestPrioritizeICountOrder(t *testing.T) {
+	icounts := []int{5, 0, 0, 9}
+	all := func(int) bool { return true }
+	// cycle 2 rotates the tie-break order to 2,3,0,1: thread 2 beats 1.
+	got := Prioritize(config.ICount, icounts, all, 2, 4)
+	want := []int{2, 1, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Round-robin ignores icounts entirely.
+	got = Prioritize(config.RoundRobin, icounts, all, 2, 4)
+	want = []int{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RR got %v, want %v", got, want)
+		}
+	}
+}

@@ -68,6 +68,14 @@ func (q *IssueQueue) DropSquashed() {
 	q.Scan(func(*UOp) bool { return false })
 }
 
+// Each calls fn on every entry oldest-first without side effects (used by
+// invariant checks).
+func (q *IssueQueue) Each(fn func(u *UOp)) {
+	for _, u := range q.entries {
+		fn(u)
+	}
+}
+
 // RegFile is a physical register free list (just a counter: the simulator
 // never tracks values).
 type RegFile struct {
@@ -75,8 +83,9 @@ type RegFile struct {
 	free  int
 }
 
-// NewRegFile returns a register file with n registers, of which `arch` are
-// considered permanently allocated as architectural state per thread.
+// NewRegFile returns a register file with n registers, of which `reserved`
+// are considered permanently allocated as architectural state (32 per
+// thread).
 func NewRegFile(n, reserved int) *RegFile {
 	free := n - reserved
 	if free < 0 {

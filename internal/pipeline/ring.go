@@ -1,0 +1,104 @@
+package pipeline
+
+// UOpRing is a growable FIFO of uops backed by a power-of-two ring buffer.
+// The simulator's per-cycle buffers (fetch buffer, decode/rename pipe, the
+// ROB's per-thread FIFOs) pop from the head every cycle; a slice-based queue
+// either shifts elements or walks its backing array forward and reallocates,
+// both of which show up in the cycle loop. The ring does neither: once grown
+// to the high-water mark it never allocates again.
+type UOpRing struct {
+	buf  []*UOp
+	head int
+	n    int
+}
+
+// NewUOpRing returns an empty ring with capacity for at least capHint uops.
+func NewUOpRing(capHint int) *UOpRing {
+	c := 8
+	for c < capHint {
+		c <<= 1
+	}
+	return &UOpRing{buf: make([]*UOp, c)}
+}
+
+// Len returns the number of queued uops.
+func (r *UOpRing) Len() int { return r.n }
+
+// At returns the i-th oldest uop (0 = head). It panics on out-of-range
+// indices, like a slice.
+func (r *UOpRing) At(i int) *UOp {
+	if i < 0 || i >= r.n {
+		panic("pipeline: UOpRing index out of range")
+	}
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// Push appends u at the tail, growing the ring if full.
+func (r *UOpRing) Push(u *UOp) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = u
+	r.n++
+}
+
+// PopHead removes and returns the oldest uop, or nil when empty.
+func (r *UOpRing) PopHead() *UOp {
+	if r.n == 0 {
+		return nil
+	}
+	u := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return u
+}
+
+// PopTail removes and returns the youngest uop, or nil when empty.
+func (r *UOpRing) PopTail() *UOp {
+	if r.n == 0 {
+		return nil
+	}
+	i := (r.head + r.n - 1) & (len(r.buf) - 1)
+	u := r.buf[i]
+	r.buf[i] = nil
+	r.n--
+	return u
+}
+
+// Filter keeps only the uops for which keep returns true, preserving order
+// and compacting in place.
+func (r *UOpRing) Filter(keep func(u *UOp) bool) {
+	mask := len(r.buf) - 1
+	w := 0
+	for i := 0; i < r.n; i++ {
+		u := r.buf[(r.head+i)&mask]
+		if keep(u) {
+			r.buf[(r.head+w)&mask] = u
+			w++
+		}
+	}
+	for i := w; i < r.n; i++ {
+		r.buf[(r.head+i)&mask] = nil
+	}
+	r.n = w
+}
+
+// Clear empties the ring.
+func (r *UOpRing) Clear() {
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&mask] = nil
+	}
+	r.head, r.n = 0, 0
+}
+
+func (r *UOpRing) grow() {
+	bigger := make([]*UOp, 2*len(r.buf))
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		bigger[i] = r.buf[(r.head+i)&mask]
+	}
+	r.buf = bigger
+	r.head = 0
+}

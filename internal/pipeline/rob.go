@@ -8,13 +8,17 @@ type ROB struct {
 	cap   int
 	count int
 	// perThread[t] holds thread t's in-flight uops in program order.
-	perThread [][]*UOp
+	perThread []*UOpRing
 }
 
 // NewROB returns an empty ROB with the given shared capacity and thread
 // count.
 func NewROB(capacity, threads int) *ROB {
-	return &ROB{cap: capacity, perThread: make([][]*UOp, threads)}
+	r := &ROB{cap: capacity, perThread: make([]*UOpRing, threads)}
+	for t := range r.perThread {
+		r.perThread[t] = NewUOpRing(capacity)
+	}
+	return r
 }
 
 // Cap returns the shared capacity.
@@ -24,7 +28,7 @@ func (r *ROB) Cap() int { return r.cap }
 func (r *ROB) Len() int { return r.count }
 
 // LenOf returns thread t's occupancy.
-func (r *ROB) LenOf(t int) int { return len(r.perThread[t]) }
+func (r *ROB) LenOf(t int) int { return r.perThread[t].Len() }
 
 // Full reports whether no entry is free.
 func (r *ROB) Full() bool { return r.count >= r.cap }
@@ -35,7 +39,7 @@ func (r *ROB) Dispatch(u *UOp) bool {
 	if r.count >= r.cap {
 		return false
 	}
-	r.perThread[u.Thread] = append(r.perThread[u.Thread], u)
+	r.perThread[u.Thread].Push(u)
 	r.count++
 	return true
 }
@@ -43,37 +47,39 @@ func (r *ROB) Dispatch(u *UOp) bool {
 // Head returns thread t's oldest in-flight uop, or nil.
 func (r *ROB) Head(t int) *UOp {
 	q := r.perThread[t]
-	if len(q) == 0 {
+	if q.Len() == 0 {
 		return nil
 	}
-	return q[0]
+	return q.At(0)
 }
 
 // PopHead removes thread t's oldest uop (commit).
 func (r *ROB) PopHead(t int) {
-	q := r.perThread[t]
-	if len(q) == 0 {
-		return
+	if r.perThread[t].PopHead() != nil {
+		r.count--
 	}
-	copy(q, q[1:])
-	r.perThread[t] = q[:len(q)-1]
-	r.count--
 }
 
-// SquashYounger removes and returns all thread-t uops younger than gseq
-// (strictly greater), marking them squashed.
-func (r *ROB) SquashYounger(t int, gseq uint64) []*UOp {
+// Each calls fn on every in-flight uop, thread by thread, oldest-first
+// within a thread (used by invariant checks).
+func (r *ROB) Each(fn func(u *UOp)) {
+	for _, q := range r.perThread {
+		for i := 0; i < q.Len(); i++ {
+			fn(q.At(i))
+		}
+	}
+}
+
+// SquashYounger removes all thread-t uops younger than gseq (strictly
+// greater), marking them squashed and appending them to dst, which is
+// returned. Passing a reused scratch slice keeps recovery allocation-free.
+func (r *ROB) SquashYounger(t int, gseq uint64, dst []*UOp) []*UOp {
 	q := r.perThread[t]
-	// Entries are age-ordered; find the first younger one.
-	i := len(q)
-	for i > 0 && q[i-1].GSeq > gseq {
-		i--
-	}
-	squashed := q[i:]
-	for _, u := range squashed {
+	for q.Len() > 0 && q.At(q.Len()-1).GSeq > gseq {
+		u := q.PopTail()
 		u.Squashed = true
+		dst = append(dst, u)
+		r.count--
 	}
-	r.count -= len(squashed)
-	r.perThread[t] = q[:i]
-	return squashed
+	return dst
 }

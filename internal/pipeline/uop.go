@@ -24,10 +24,13 @@ type UOp struct {
 	Ghost bool
 	// GSeq is a global, monotonically increasing age stamp; within a
 	// thread it follows program (path) order.
+	//
+	// The embedded Instruction carries PathSeq, the instruction's position
+	// in its source stream, against which dependence distances are
+	// resolved. (UOp used to declare a second PathSeq field that shadowed
+	// the instruction's and was never written, which silently disabled the
+	// dependence ring.)
 	GSeq uint64
-	// PathSeq is the instruction's position in its source stream, used
-	// to resolve dependence distances.
-	PathSeq uint64
 
 	// FetchedAt is the cycle the uop entered the fetch buffer; EnterFront
 	// the cycle it left the fetch buffer into decode.

@@ -114,6 +114,11 @@ type Options struct {
 	// WarmupInstrs are committed before statistics are reset
 	// (default 200k).
 	WarmupInstrs uint64
+	// WarmupCycles, when non-zero, additionally runs the simulator for a
+	// fixed number of cycles before statistics are reset (after the
+	// instruction-based warm-up). Cycle-based warm-up gives every cell of
+	// a sweep the same wall-clock shape regardless of its IPC.
+	WarmupCycles uint64
 	// MeasureInstrs are committed during measurement (default 1M).
 	MeasureInstrs uint64
 	// MaxCycles bounds each phase (default 50M).
@@ -205,6 +210,9 @@ func (s *Simulator) Core() *core.Sim { return s.sim }
 // Run executes warm-up then measurement and returns the result.
 func (s *Simulator) Run() *Result {
 	s.sim.Run(s.opts.WarmupInstrs, s.opts.MaxCycles)
+	if s.opts.WarmupCycles > 0 {
+		s.sim.RunCycles(s.opts.WarmupCycles)
+	}
 	s.sim.ResetStats()
 	st := s.sim.Run(s.opts.MeasureInstrs, s.opts.MaxCycles)
 	return &Result{
