@@ -287,7 +287,13 @@ func cmdBench(args []string) error {
 	warmup := fs.Uint64("warmup", 0, "warm-up instructions per cell (0 = default 50k)")
 	measure := fs.Uint64("measure", 0, "measured instructions per cell (0 = default 300k)")
 	quick := fs.Bool("quick", false, "CI mode: 10k warm-up, 50k measured instructions")
-	out := fs.String("o", "BENCH_PR2.json", "write the perf report JSON to this file ('-' = stdout)")
+	// The default output deliberately differs from the checked-in
+	// BENCH_PR3.json baseline so a bare `bench -baseline ...` run cannot
+	// clobber the reference it (or CI) compares against.
+	out := fs.String("o", "BENCH_LOCAL.json", "write the perf report JSON to this file ('-' = stdout)")
+	baseline := fs.String("baseline", "", "compare against this perf report and fail on regressions")
+	tol := fs.Float64("tol", 0.25, "relative throughput drop tolerated vs -baseline (wall clock is machine-dependent)")
+	allocTol := fs.Float64("alloc-tol", 0.01, "absolute allocs/cycle increase tolerated vs -baseline")
 	fs.Parse(args)
 
 	pb := experiment.PerfBench{
@@ -315,6 +321,15 @@ func cmdBench(args []string) error {
 		}
 		if pb.MeasureInstrs == 0 {
 			pb.MeasureInstrs = 50_000
+		}
+	}
+	// Read the baseline before running (fail fast on a bad path) and
+	// before writing -o (the output may overwrite the baseline file).
+	var base *experiment.PerfReport
+	if *baseline != "" {
+		var err error
+		if base, err = experiment.ReadPerfJSONFile(*baseline); err != nil {
+			return err
 		}
 	}
 	pb.OnCell = func(done, total int, c experiment.PerfCell) {
@@ -345,7 +360,17 @@ func cmdBench(args []string) error {
 	if w != os.Stdout {
 		fmt.Fprintf(os.Stderr, "wrote perf report to %s\n", *out)
 	}
-	return runErr
+	if runErr != nil {
+		return runErr
+	}
+	if base != nil {
+		cmp := experiment.PerfCompare(base, rep, *tol, *allocTol)
+		fmt.Fprint(os.Stderr, cmp)
+		if err := cmp.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // splitList splits a comma-separated flag value, dropping empty items.

@@ -31,7 +31,10 @@ func (c counter) dec() counter {
 }
 
 // DirPredictor predicts conditional-branch directions from (PC, global
-// history) pairs.
+// history) pairs. It is a conformance contract for tests and external
+// callers only: the fetch engines hold the concrete predictor types
+// (*GShare, *GSkew) and call Predict/Update statically, so the per-branch
+// hot path never pays interface dispatch.
 type DirPredictor interface {
 	// Predict returns the predicted direction for the branch at pc with
 	// global history hist.
@@ -116,26 +119,30 @@ func NewGSkew(entries, historyBits int) *GSkew {
 // history, so two (PC, history) pairs that collide in one bank very likely
 // differ in the other two. Bank 0 uses the plain gshare index; the other
 // banks apply distinct bijective multiplicative mixes before truncation.
-func (g *GSkew) index(bank int, pc isa.Addr, hist uint64) uint64 {
+// indices computes all three bank indices in one straight-line pass — the
+// shared gshare term is hashed once and no per-bank branch is taken, which
+// keeps the per-prediction path flat and inlinable.
+func (g *GSkew) indices(pc isa.Addr, hist uint64) (uint64, uint64, uint64) {
 	x := (uint64(pc) >> 2) ^ (hist & g.histMask)
-	switch bank {
-	case 1:
-		x *= 0x9e3779b97f4a7c15 // odd => bijective on 64 bits
-		x ^= x >> 29
-	case 2:
-		x *= 0xc2b2ae3d27d4eb4f
-		x ^= x >> 31
-	}
-	return x & g.mask
+	x1 := x * 0x9e3779b97f4a7c15 // odd => bijective on 64 bits
+	x1 ^= x1 >> 29
+	x2 := x * 0xc2b2ae3d27d4eb4f
+	x2 ^= x2 >> 31
+	return x & g.mask, x1 & g.mask, x2 & g.mask
 }
 
 // Predict implements DirPredictor (majority of the three banks).
 func (g *GSkew) Predict(pc isa.Addr, hist uint64) bool {
+	i0, i1, i2 := g.indices(pc, hist)
 	votes := 0
-	for b := 0; b < 3; b++ {
-		if g.banks[b][g.index(b, pc, hist)].taken() {
-			votes++
-		}
+	if g.banks[0][i0].taken() {
+		votes++
+	}
+	if g.banks[1][i1].taken() {
+		votes++
+	}
+	if g.banks[2][i2].taken() {
+		votes++
 	}
 	return votes >= 2
 }
@@ -143,13 +150,15 @@ func (g *GSkew) Predict(pc isa.Addr, hist uint64) bool {
 // Update implements DirPredictor. All banks are trained (total update
 // policy; the partial-update variant changes little at these sizes).
 func (g *GSkew) Update(pc isa.Addr, hist uint64, taken bool) {
-	for b := 0; b < 3; b++ {
-		i := g.index(b, pc, hist)
-		if taken {
-			g.banks[b][i] = g.banks[b][i].inc()
-		} else {
-			g.banks[b][i] = g.banks[b][i].dec()
-		}
+	i0, i1, i2 := g.indices(pc, hist)
+	if taken {
+		g.banks[0][i0] = g.banks[0][i0].inc()
+		g.banks[1][i1] = g.banks[1][i1].inc()
+		g.banks[2][i2] = g.banks[2][i2].inc()
+	} else {
+		g.banks[0][i0] = g.banks[0][i0].dec()
+		g.banks[1][i1] = g.banks[1][i1].dec()
+		g.banks[2][i2] = g.banks[2][i2].dec()
 	}
 }
 

@@ -174,6 +174,11 @@ func (c *Cache) MissRate() float64 {
 }
 
 // TLB is a fully-associative LRU translation buffer over fixed-size pages.
+// Hits resolve through an MRU probe and a page->entry index instead of the
+// associative scan a real TLB does in parallel; the scan survives only on
+// the (rare) miss path for LRU victim selection, so the model's hit/miss
+// sequence and replacement decisions are unchanged while the common case
+// is O(1).
 type TLB struct {
 	entries  int
 	pageBits uint
@@ -181,6 +186,11 @@ type TLB struct {
 	valid    []bool
 	lru      []uint64
 	stamp    uint64
+	// idx maps the page of every valid entry to its index; mru is the
+	// last entry that hit (checked first — page locality makes
+	// consecutive accesses hit the same page).
+	idx map[uint64]int
+	mru int
 
 	Accesses uint64
 	Misses   uint64
@@ -196,6 +206,7 @@ func NewTLB(entries int) *TLB {
 		pages:   make([]uint64, entries),
 		valid:   make([]bool, entries),
 		lru:     make([]uint64, entries),
+		idx:     make(map[uint64]int, entries),
 	}
 	for pb := PageBytes; pb > 1; pb >>= 1 {
 		t.pageBits++
@@ -208,13 +219,22 @@ func NewTLB(entries int) *TLB {
 func (t *TLB) Lookup(a isa.Addr) bool {
 	t.Accesses++
 	page := uint64(a) >> t.pageBits
+	if i := t.mru; t.valid[i] && t.pages[i] == page {
+		t.stamp++
+		t.lru[i] = t.stamp
+		return true
+	}
+	if i, ok := t.idx[page]; ok {
+		t.stamp++
+		t.lru[i] = t.stamp
+		t.mru = i
+		return true
+	}
+	// Miss: select the victim exactly as the original associative scan
+	// did (the last invalid entry, else the unique LRU minimum), so the
+	// replacement sequence is bit-identical.
 	victim := 0
 	for i := 0; i < t.entries; i++ {
-		if t.valid[i] && t.pages[i] == page {
-			t.stamp++
-			t.lru[i] = t.stamp
-			return true
-		}
 		if !t.valid[i] {
 			victim = i
 		} else if t.valid[victim] && t.lru[i] < t.lru[victim] {
@@ -222,8 +242,13 @@ func (t *TLB) Lookup(a isa.Addr) bool {
 		}
 	}
 	t.Misses++
+	if t.valid[victim] {
+		delete(t.idx, t.pages[victim])
+	}
 	t.pages[victim] = page
 	t.valid[victim] = true
+	t.idx[page] = victim
+	t.mru = victim
 	t.stamp++
 	t.lru[victim] = t.stamp
 	return false

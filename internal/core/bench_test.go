@@ -61,3 +61,15 @@ func BenchmarkCycleStream(b *testing.B) {
 		s.Cycle()
 	}
 }
+
+// BenchmarkCycleFTB is the same loop under the gskew+FTB engine, whose
+// spanned fetch blocks exercise the embedded-divergence and FTB training
+// paths the other two engines never reach.
+func BenchmarkCycleFTB(b *testing.B) {
+	s := newBenchSim(b, config.GSkewFTB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cycle()
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"smtfetch/internal/config"
+	"smtfetch/internal/ftq"
+)
+
+// TestRequestPoolNeverHoldsLiveRequest is the whole-pipeline aliasing
+// invariant for the fetch-request pool, modeled on the uop free-list test:
+// at no point may a request that is queued in an FTQ or pinned by an
+// in-flight uop appear on a free list, and every uop's Info pointer must
+// target a live request.
+func TestRequestPoolNeverHoldsLiveRequest(t *testing.T) {
+	for _, eng := range []config.Engine{config.GShareBTB, config.GSkewFTB, config.StreamFetch} {
+		s := newTestSim(t, eng, 0xA11A5)
+		var pinned []*ftq.Request
+		for step := 0; step < 200; step++ {
+			s.RunCycles(100)
+			pinned = pinned[:0]
+			for u, where := range s.liveUOps() {
+				if u.Req == nil {
+					if u.Info != nil && !u.Squashed {
+						t.Fatalf("%v, cycle %d: uop in %s has Info but no Req back-reference", eng, s.Cycles(), where)
+					}
+					continue
+				}
+				if u.Squashed {
+					t.Fatalf("%v, cycle %d: squashed uop in %s still holds a request reference", eng, s.Cycles(), where)
+				}
+				if !u.Req.Live() {
+					t.Fatalf("%v, cycle %d: uop in %s points into a pooled request", eng, s.Cycles(), where)
+				}
+				pinned = append(pinned, u.Req)
+			}
+			if err := s.fe.CheckPoolInvariants(pinned...); err != nil {
+				t.Fatalf("%v, cycle %d: %v", eng, s.Cycles(), err)
+			}
+		}
+		if s.Stats().Squashed == 0 {
+			t.Fatalf("%v: no squashes happened; recycling path untested", eng)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs is the allocation gate as a plain test: after
+// warm-up the cycle loop must reach windows with literally zero heap
+// allocations. Growth is allowed only as rare working-set high-water
+// bursts, so the test passes as soon as any window is clean and fails
+// only if every window allocates.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation accounting")
+	}
+	if testing.Short() {
+		t.Skip("real simulator run; skipped with -short")
+	}
+	for _, eng := range []config.Engine{config.GShareBTB, config.GSkewFTB, config.StreamFetch} {
+		s := newTestSim(t, eng, 0x5EED)
+		s.RunCycles(150_000)
+		var clean bool
+		var counts []uint64
+		for window := 0; window < 8 && !clean; window++ {
+			runtime.GC()
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			s.RunCycles(25_000)
+			runtime.ReadMemStats(&after)
+			n := after.Mallocs - before.Mallocs
+			counts = append(counts, n)
+			clean = n == 0
+		}
+		if !clean {
+			t.Fatalf("%v: no allocation-free 25k-cycle window after warm-up; allocs per window: %v", eng, counts)
+		}
+	}
+}

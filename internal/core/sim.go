@@ -60,8 +60,11 @@ type Sim struct {
 
 	// freeUOps is the uop free list. Squashed uops pass through a
 	// two-cycle limbo quarantine first, because execList and pendingDecode
-	// drop squashed entries lazily on their next scan.
+	// drop squashed entries lazily on their next scan. uopSlab is the
+	// current allocation block: new uops are created uopSlabSize at a time
+	// so working-set growth costs one heap allocation per slab.
 	freeUOps []*pipeline.UOp
+	uopSlab  []pipeline.UOp
 	limboCur []*pipeline.UOp
 	limboOld []*pipeline.UOp
 
@@ -205,8 +208,11 @@ func (s *Sim) recycleLimbo() {
 	s.limboOld, s.limboCur = s.limboCur, s.limboOld[:0]
 }
 
-// allocUOp takes a uop from the free list (or the heap when the list is
-// empty) and resets it.
+// uopSlabSize is the uop arena's allocation granularity.
+const uopSlabSize = 256
+
+// allocUOp takes a uop from the free list (or the current slab when the
+// list is empty) and resets it.
 func (s *Sim) allocUOp() *pipeline.UOp {
 	if n := len(s.freeUOps); n > 0 {
 		u := s.freeUOps[n-1]
@@ -215,7 +221,12 @@ func (s *Sim) allocUOp() *pipeline.UOp {
 		*u = pipeline.UOp{}
 		return u
 	}
-	return new(pipeline.UOp)
+	if len(s.uopSlab) == 0 {
+		s.uopSlab = make([]pipeline.UOp, uopSlabSize)
+	}
+	u := &s.uopSlab[0]
+	s.uopSlab = s.uopSlab[1:]
+	return u
 }
 
 // icounts gathers the per-thread ICOUNT values into the reused scratch
@@ -253,7 +264,9 @@ func (s *Sim) commit() {
 			// Commit is the uop's last use: it has left the ROB, the
 			// issue queues, and the exec list; the dependence ring
 			// validates identity before trusting its (possibly stale)
-			// pointer.
+			// pointer. Dropping the fetch-request reference may return
+			// the request to its pool.
+			s.releaseRequest(u)
 			s.freeUOps = append(s.freeUOps, u)
 		}
 	}
@@ -288,6 +301,17 @@ func (s *Sim) commitBranch(t int, u *pipeline.UOp) {
 		if u.Info.Resolve != ftq.ResolveNone {
 			s.st.RASMispredicts++
 		}
+	}
+}
+
+// releaseRequest drops the uop's reference on the pooled fetch request
+// carrying its branch metadata. After this, u.Info must never be read
+// again: the request may be recycled into a different block.
+func (s *Sim) releaseRequest(u *pipeline.UOp) {
+	if u.Req != nil {
+		u.Req.Release()
+		u.Req = nil
+		u.Info = nil
 	}
 }
 
@@ -429,8 +453,25 @@ func (s *Sim) startExec(u *pipeline.UOp) {
 }
 
 // depsReady reports whether u's register inputs are available at s.now.
+// Readiness is sticky: a producer that is done, squashed, recycled, or out
+// of the window can never become unready again (PathSeq is monotonic, so a
+// ring slot never reverts to the producer). Each satisfied dependence is
+// therefore cleared to 0, so queued uops re-polled every cycle pay the
+// ring lookup at most once per input.
 func (s *Sim) depsReady(u *pipeline.UOp) bool {
-	return s.depReady(u, u.Dep1) && s.depReady(u, u.Dep2)
+	if u.Dep1 != 0 {
+		if !s.depReady(u, u.Dep1) {
+			return false
+		}
+		u.Dep1 = 0
+	}
+	if u.Dep2 != 0 {
+		if !s.depReady(u, u.Dep2) {
+			return false
+		}
+		u.Dep2 = 0
+	}
+	return true
 }
 
 func (s *Sim) depReady(u *pipeline.UOp, d uint16) bool {
@@ -651,8 +692,14 @@ func (s *Sim) fetchFromThread(t, budget int) int {
 		idx := req.Consumed + i
 		s.gseq++
 		u := s.allocUOp()
-		u.Instruction = req.Instrs[idx]
-		u.Info = req.Branch[idx]
+		u.Instruction = *req.Instr(idx)
+		if bi := req.Branch(idx); bi != nil {
+			// The uop pins the pooled request alive for as long as it
+			// may read or train from the branch metadata.
+			u.Info = bi
+			u.Req = req
+			req.Retain()
+		}
 		u.Thread = t
 		u.Ghost = req.WrongPath
 		u.GSeq = s.gseq
@@ -676,9 +723,9 @@ func (s *Sim) predictStage() {
 	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.icounts(), s.predictEligible, s.now, s.cfg.FetchPolicy.Threads)
 	s.orderBuf = order[:0]
 	for _, t := range order {
-		if req := s.fe.Predict(t); req != nil {
+		if n := s.fe.Predict(t); n > 0 {
 			s.st.FetchBlocks++
-			s.st.FetchBlockLenSum += uint64(len(req.Instrs))
+			s.st.FetchBlockLenSum += uint64(n)
 		}
 	}
 }
@@ -698,6 +745,7 @@ func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 	s.limboCur = s.rob.SquashYounger(t, u.GSeq, s.limboCur)
 	for _, v := range s.limboCur[start:] {
 		s.releaseReg(v)
+		s.releaseRequest(v)
 		if v.InICount {
 			v.InICount = false
 			ts.icount--
@@ -726,6 +774,7 @@ func (s *Sim) squashRing(r *pipeline.UOpRing, t int, gseq uint64, ts *threadStat
 	r.Filter(func(v *pipeline.UOp) bool {
 		if v.Thread == t && v.GSeq > gseq && !v.Squashed {
 			v.Squashed = true
+			s.releaseRequest(v)
 			if v.InICount {
 				v.InICount = false
 				ts.icount--

@@ -1,0 +1,187 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// PerfDelta compares one cell of two perf-bench reports.
+type PerfDelta struct {
+	Key string `json:"key"`
+
+	OldKCycPerSec float64 `json:"old_kcyc_per_sec"`
+	NewKCycPerSec float64 `json:"new_kcyc_per_sec"`
+	// ThroughputChange is (new-old)/old kilo-cycles/sec; nil when the old
+	// rate is zero.
+	ThroughputChange *float64 `json:"throughput_change,omitempty"`
+
+	OldAllocsPerCycle float64 `json:"old_allocs_per_cycle"`
+	NewAllocsPerCycle float64 `json:"new_allocs_per_cycle"`
+
+	// ThroughputRegression / AllocRegression flag drops beyond the
+	// comparison tolerances.
+	ThroughputRegression bool `json:"throughput_regression"`
+	AllocRegression      bool `json:"alloc_regression"`
+	// BehaviorShift marks cells whose simulated cycle or commit counts
+	// differ between the reports: a perf-only change must keep them
+	// bit-identical. Only checked when both reports measured the same
+	// instruction budget.
+	BehaviorShift bool `json:"behavior_shift"`
+	// MissingIn is "old" or "new" when the cell exists on only one side.
+	MissingIn string `json:"missing_in,omitempty"`
+}
+
+// PerfCompareReport aggregates a perf-bench comparison: the simulator-speed
+// regression gate. CI regenerates a report per PR and fails when the new
+// report is slower, allocates more, or simulates different behavior than
+// the checked-in baseline.
+type PerfCompareReport struct {
+	ThroughputTol  float64     `json:"throughput_tol"`
+	AllocTol       float64     `json:"alloc_tol"`
+	Deltas         []PerfDelta `json:"deltas"`
+	Regressions    int         `json:"regressions"`
+	BehaviorShifts int         `json:"behavior_shifts"`
+	Missing        int         `json:"missing"`
+}
+
+// Err returns a non-nil error when the comparison should fail a gate.
+func (rep *PerfCompareReport) Err() error {
+	switch {
+	case rep.BehaviorShifts > 0:
+		return fmt.Errorf("%d cells changed simulated behavior (cycle/commit counts shifted); regenerate the baseline if intentional", rep.BehaviorShifts)
+	case rep.Regressions > 0:
+		return fmt.Errorf("%d perf regressions beyond tolerance (throughput -%.0f%%, allocs +%.3f/cycle)",
+			rep.Regressions, 100*rep.ThroughputTol, rep.AllocTol)
+	}
+	return nil
+}
+
+// PerfCompare matches the cells of two perf reports by (workload, engine,
+// policy) and flags throughput drops beyond throughputTol (relative:
+// 0.25 tolerates a 25% drop — wall-clock rates are machine-dependent, so
+// the tolerance is deliberately loose), allocation increases beyond
+// allocTol (absolute allocs/cycle — allocation counts are deterministic,
+// so the tolerance is tight), and any shift in simulated behavior.
+func PerfCompare(old, new *PerfReport, throughputTol, allocTol float64) PerfCompareReport {
+	if throughputTol < 0 {
+		throughputTol = 0
+	}
+	if allocTol < 0 {
+		allocTol = 0
+	}
+	// Behavior comparison is meaningful only for equal measurement budgets.
+	sameBudget := old.WarmupInstrs == new.WarmupInstrs && old.MeasureInstrs == new.MeasureInstrs
+
+	key := func(c PerfCell) string { return c.Workload + "/" + c.Engine + "/" + c.Policy }
+	oldByKey := make(map[string]PerfCell, len(old.Cells))
+	for _, c := range old.Cells {
+		oldByKey[key(c)] = c
+	}
+	rep := PerfCompareReport{ThroughputTol: throughputTol, AllocTol: allocTol}
+	seen := make(map[string]bool, len(new.Cells))
+	for _, n := range new.Cells {
+		k := key(n)
+		seen[k] = true
+		o, inOld := oldByKey[k]
+		d := PerfDelta{
+			Key:               k,
+			NewKCycPerSec:     n.KiloCyclesPerSec,
+			NewAllocsPerCycle: n.AllocsPerCycle,
+		}
+		if !inOld {
+			d.MissingIn = "old"
+			rep.Missing++
+			rep.Deltas = append(rep.Deltas, d)
+			continue
+		}
+		d.OldKCycPerSec = o.KiloCyclesPerSec
+		d.OldAllocsPerCycle = o.AllocsPerCycle
+		if o.KiloCyclesPerSec > 0 {
+			tc := (n.KiloCyclesPerSec - o.KiloCyclesPerSec) / o.KiloCyclesPerSec
+			d.ThroughputChange = &tc
+		}
+		if n.KiloCyclesPerSec < o.KiloCyclesPerSec*(1-throughputTol) {
+			d.ThroughputRegression = true
+		}
+		if n.AllocsPerCycle > o.AllocsPerCycle+allocTol {
+			d.AllocRegression = true
+		}
+		if sameBudget && (n.Cycles != o.Cycles || n.Committed != o.Committed) {
+			d.BehaviorShift = true
+			rep.BehaviorShifts++
+		}
+		if d.ThroughputRegression || d.AllocRegression {
+			rep.Regressions++
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, o := range old.Cells {
+		if k := key(o); !seen[k] {
+			rep.Missing++
+			rep.Deltas = append(rep.Deltas, PerfDelta{
+				Key:               k,
+				OldKCycPerSec:     o.KiloCyclesPerSec,
+				OldAllocsPerCycle: o.AllocsPerCycle,
+				MissingIn:         "new",
+			})
+		}
+	}
+	return rep
+}
+
+// String renders the comparison as an aligned table plus a verdict line.
+func (rep PerfCompareReport) String() string {
+	rows := [][]string{{"CELL", "OLD.KCYC/S", "NEW.KCYC/S", "CHANGE", "OLD.ALLOC", "NEW.ALLOC", "FLAG"}}
+	for _, d := range rep.Deltas {
+		change := "n/a"
+		if d.ThroughputChange != nil {
+			change = fmt.Sprintf("%+.1f%%", 100**d.ThroughputChange)
+		}
+		var flags []string
+		if d.MissingIn != "" {
+			flags = append(flags, "missing in "+d.MissingIn)
+		}
+		if d.ThroughputRegression {
+			flags = append(flags, "SLOWER")
+		}
+		if d.AllocRegression {
+			flags = append(flags, "ALLOCS")
+		}
+		if d.BehaviorShift {
+			flags = append(flags, "BEHAVIOR SHIFT")
+		}
+		rows = append(rows, []string{
+			d.Key,
+			fmt.Sprintf("%.0f", d.OldKCycPerSec),
+			fmt.Sprintf("%.0f", d.NewKCycPerSec),
+			change,
+			fmt.Sprintf("%.3f", d.OldAllocsPerCycle),
+			fmt.Sprintf("%.3f", d.NewAllocsPerCycle),
+			strings.Join(flags, ", "),
+		})
+	}
+	var b strings.Builder
+	b.WriteString(renderAligned(rows))
+	fmt.Fprintf(&b, "%d cells compared, %d regressions, %d behavior shifts, %d missing (tol: throughput -%.0f%%, allocs +%.3f/cycle)\n",
+		len(rep.Deltas), rep.Regressions, rep.BehaviorShifts, rep.Missing, 100*rep.ThroughputTol, rep.AllocTol)
+	return b.String()
+}
+
+// ReadPerfJSONFile reads a perf-bench report written by WritePerfJSON.
+func ReadPerfJSONFile(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("experiment: parsing %s: %w", path, err)
+	}
+	if rep.SchemaVersion != PerfSchemaVersion {
+		return nil, fmt.Errorf("experiment: %s has perf schema version %d, this build understands %d",
+			path, rep.SchemaVersion, PerfSchemaVersion)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func perfCell(w, e, p string, kcyc, allocs float64, cycles, committed uint64) PerfCell {
+	return PerfCell{
+		Workload: w, Engine: e, Policy: p,
+		KiloCyclesPerSec: kcyc, AllocsPerCycle: allocs,
+		Cycles: cycles, Committed: committed,
+	}
+}
+
+func perfReport(cells ...PerfCell) *PerfReport {
+	return &PerfReport{
+		SchemaVersion: PerfSchemaVersion,
+		WarmupInstrs:  50_000,
+		MeasureInstrs: 300_000,
+		Cells:         cells,
+	}
+}
+
+// TestPerfCompareFlagsRegressions checks the three failure axes separately:
+// throughput drop, allocation increase, and simulated-behavior shift.
+func TestPerfCompareFlagsRegressions(t *testing.T) {
+	old := perfReport(
+		perfCell("2_MIX", "stream", "ICOUNT.1.8", 1000, 0, 5000, 10000),
+		perfCell("4_MIX", "stream", "ICOUNT.1.8", 1000, 0, 6000, 10000),
+		perfCell("8_MIX", "stream", "ICOUNT.1.8", 1000, 0, 7000, 10000),
+	)
+
+	// Same behavior, same allocs, 10% slower: inside a 25% tolerance.
+	ok := perfReport(
+		perfCell("2_MIX", "stream", "ICOUNT.1.8", 900, 0, 5000, 10000),
+		perfCell("4_MIX", "stream", "ICOUNT.1.8", 900, 0, 6000, 10000),
+		perfCell("8_MIX", "stream", "ICOUNT.1.8", 900, 0, 7000, 10000),
+	)
+	rep := PerfCompare(old, ok, 0.25, 0.01)
+	if rep.Regressions != 0 || rep.BehaviorShifts != 0 || rep.Err() != nil {
+		t.Fatalf("in-tolerance comparison flagged: %+v", rep)
+	}
+
+	// 50% slower on one cell.
+	slow := perfReport(
+		perfCell("2_MIX", "stream", "ICOUNT.1.8", 500, 0, 5000, 10000),
+		perfCell("4_MIX", "stream", "ICOUNT.1.8", 1000, 0, 6000, 10000),
+		perfCell("8_MIX", "stream", "ICOUNT.1.8", 1000, 0, 7000, 10000),
+	)
+	rep = PerfCompare(old, slow, 0.25, 0.01)
+	if rep.Regressions != 1 || rep.Err() == nil {
+		t.Fatalf("50%% throughput drop not flagged: %+v", rep)
+	}
+	if !rep.Deltas[0].ThroughputRegression {
+		t.Fatalf("wrong cell flagged: %+v", rep.Deltas)
+	}
+
+	// Allocation creep beyond the absolute tolerance.
+	leaky := perfReport(
+		perfCell("2_MIX", "stream", "ICOUNT.1.8", 1000, 0.5, 5000, 10000),
+		perfCell("4_MIX", "stream", "ICOUNT.1.8", 1000, 0, 6000, 10000),
+		perfCell("8_MIX", "stream", "ICOUNT.1.8", 1000, 0, 7000, 10000),
+	)
+	rep = PerfCompare(old, leaky, 0.25, 0.01)
+	if rep.Regressions != 1 || !rep.Deltas[0].AllocRegression {
+		t.Fatalf("alloc regression not flagged: %+v", rep)
+	}
+
+	// Shifted cycle count = changed simulated behavior.
+	shifted := perfReport(
+		perfCell("2_MIX", "stream", "ICOUNT.1.8", 1000, 0, 5001, 10000),
+		perfCell("4_MIX", "stream", "ICOUNT.1.8", 1000, 0, 6000, 10000),
+		perfCell("8_MIX", "stream", "ICOUNT.1.8", 1000, 0, 7000, 10000),
+	)
+	rep = PerfCompare(old, shifted, 0.25, 0.01)
+	if rep.BehaviorShifts != 1 || rep.Err() == nil {
+		t.Fatalf("behavior shift not flagged: %+v", rep)
+	}
+	if !strings.Contains(rep.Err().Error(), "behavior") {
+		t.Fatalf("behavior shift error unclear: %v", rep.Err())
+	}
+}
+
+// TestPerfCompareSkipsBehaviorAcrossBudgets: quick-mode CI reports measure
+// fewer instructions than the checked-in baseline, so cycle counts
+// legitimately differ and must not be flagged.
+func TestPerfCompareSkipsBehaviorAcrossBudgets(t *testing.T) {
+	old := perfReport(perfCell("2_MIX", "stream", "ICOUNT.1.8", 1000, 0, 5000, 10000))
+	quick := &PerfReport{
+		SchemaVersion: PerfSchemaVersion,
+		WarmupInstrs:  10_000,
+		MeasureInstrs: 50_000,
+		Cells:         []PerfCell{perfCell("2_MIX", "stream", "ICOUNT.1.8", 1000, 0, 900, 2000)},
+	}
+	rep := PerfCompare(old, quick, 0.25, 0.01)
+	if rep.BehaviorShifts != 0 || rep.Err() != nil {
+		t.Fatalf("cross-budget behavior comparison flagged: %+v", rep)
+	}
+}
+
+// TestPerfCompareMissingCells checks that asymmetric grids are reported as
+// missing, never as regressions, on both sides.
+func TestPerfCompareMissingCells(t *testing.T) {
+	old := perfReport(
+		perfCell("2_MIX", "stream", "ICOUNT.1.8", 1000, 0, 5000, 10000),
+		perfCell("4_MIX", "stream", "ICOUNT.1.8", 1000, 0, 6000, 10000),
+	)
+	new := perfReport(
+		perfCell("2_MIX", "stream", "ICOUNT.1.8", 1000, 0, 5000, 10000),
+		perfCell("2_MIX", "gshare+BTB", "ICOUNT.1.8", 1000, 0, 4000, 10000),
+	)
+	rep := PerfCompare(old, new, 0.25, 0.01)
+	if rep.Missing != 2 || rep.Regressions != 0 || rep.Err() != nil {
+		t.Fatalf("missing cells mishandled: %+v", rep)
+	}
+}
+
+// TestPerfCompareRoundTrip writes a report, reads it back, and compares it
+// against itself: zero regressions, zero shifts, and a rendered table.
+func TestPerfCompareRoundTrip(t *testing.T) {
+	rep := perfReport(perfCell("2_MIX", "stream", "ICOUNT.1.8", 1234, 0.125, 5000, 10000))
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePerfJSON(f, rep); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := ReadPerfJSONFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := PerfCompare(rep, back, 0, 0)
+	if cmp.Regressions != 0 || cmp.BehaviorShifts != 0 || cmp.Missing != 0 {
+		t.Fatalf("self-comparison not clean: %+v", cmp)
+	}
+	if s := cmp.String(); !strings.Contains(s, "2_MIX/stream/ICOUNT.1.8") || !strings.Contains(s, "0 regressions") {
+		t.Fatalf("comparison table malformed:\n%s", s)
+	}
+}
+
+// TestReadPerfJSONFileRejectsBadSchema guards the version gate.
+func TestReadPerfJSONFileRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPerfJSONFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("bad schema accepted: %v", err)
+	}
+}

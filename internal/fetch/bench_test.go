@@ -40,8 +40,7 @@ func BenchmarkPredict(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				t := i & 1
-				req := fe.Predict(t)
-				if req == nil {
+				if fe.Predict(t) == 0 {
 					// FTQ full: drain it and keep predicting.
 					fe.Queue(t).Clear()
 				}

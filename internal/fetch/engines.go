@@ -29,24 +29,25 @@ func resolveStageFor(in *isa.Instruction, predTaken bool) ftq.ResolveStage {
 	}
 }
 
-// checkpointInfo seeds a BranchInfo with the thread's speculative-state
-// checkpoints, taken before any update for the branch itself.
-func (tf *threadFE) checkpointInfo(blockStart isa.Addr, blockInstrs int) *ftq.BranchInfo {
-	return &ftq.BranchInfo{
-		GHR:         tf.ghr,
-		RASCp:       tf.ras.Checkpoint(),
-		PathCp:      tf.path,
-		BlockStart:  blockStart,
-		BlockInstrs: blockInstrs,
-	}
+// checkpointInfo attaches a BranchInfo to instruction i of the request,
+// seeded with the thread's speculative-state checkpoints taken before any
+// update for the branch itself. The record lives inline in the request;
+// the returned pointer is for the caller to finish filling.
+func (tf *threadFE) checkpointInfo(req *ftq.Request, i int, blockStart isa.Addr, blockInstrs int) *ftq.BranchInfo {
+	info := req.AddBranch(i)
+	info.GHR = tf.ghr
+	info.RASCp = tf.ras.Checkpoint()
+	info.PathCp = tf.path
+	info.BlockStart = blockStart
+	info.BlockInstrs = blockInstrs
+	return info
 }
 
 // finishBranch applies the universal end-of-block protocol for a predicted
 // terminating branch: compare the predicted successor with the path truth,
-// set up wrong-path mode or continue, and fill the request's BranchInfo.
-// It returns true when the block ended cleanly (prediction correct or
-// wrong-path handled).
-func (f *FrontEnd) finishBranch(tf *threadFE, req *ftq.Request, i int, in *isa.Instruction,
+// set up wrong-path mode or continue, and finish the request's inline
+// BranchInfo (info already lives in req; only Resolve remains to be set).
+func (f *FrontEnd) finishBranch(tf *threadFE, in *isa.Instruction,
 	info *ftq.BranchInfo, predTaken bool, predTarget isa.Addr) {
 
 	info.PredTaken = predTaken
@@ -56,7 +57,6 @@ func (f *FrontEnd) finishBranch(tf *threadFE, req *ftq.Request, i int, in *isa.I
 		predNext = predTarget
 	}
 	truthNext := in.NextPC()
-	req.Branch[i] = info
 
 	if predNext == truthNext {
 		info.Resolve = ftq.ResolveNone
@@ -87,31 +87,28 @@ func (f *FrontEnd) embeddedDivergence(tf *threadFE, req *ftq.Request, i int, in 
 		tf.nextPC = in.FallThrough
 		return false // keep scanning sequentially
 	}
-	info := tf.checkpointInfo(start, i+1)
+	info := tf.checkpointInfo(req, i, start, i+1)
 	info.PredTaken = false
 	info.Resolve = resolveStageFor(in, false)
-	req.Branch[i] = info
 	tf.enterWrongPath(in.FallThrough, f.ghostAt(tf, in.FallThrough))
 	return true
 }
 
 // take consumes the next instruction from the thread's current path into
-// the request.
+// the request's inline instruction array.
 func take(tf *threadFE, req *ftq.Request) *isa.Instruction {
 	src := tf.source()
-	in := *src.Peek(0)
+	in := req.Append(src.Peek(0))
 	src.Advance(1)
-	req.Instrs = append(req.Instrs, in)
-	req.Branch = append(req.Branch, nil)
-	return &req.Instrs[len(req.Instrs)-1]
+	return in
 }
 
 // predictBTB forms one fetch block for the gshare+BTB engine: the block
 // ends at the first branch on the path (one direction prediction per
 // cycle => one basic block per fetch request).
-func (f *FrontEnd) predictBTB(tf *threadFE) *ftq.Request {
+func (f *FrontEnd) predictBTB(tf *threadFE, req *ftq.Request) {
 	start := tf.nextPC
-	req := &ftq.Request{Thread: tf.id, Start: start, WrongPath: tf.wrongPath}
+	req.Start, req.WrongPath = start, tf.wrongPath
 	for i := 0; i < maxBlock; i++ {
 		in := take(tf, req)
 		if !in.IsBranch() {
@@ -119,7 +116,7 @@ func (f *FrontEnd) predictBTB(tf *threadFE) *ftq.Request {
 			continue
 		}
 
-		info := tf.checkpointInfo(start, i+1)
+		info := tf.checkpointInfo(req, i, start, i+1)
 		entry, hit := f.btb.Lookup(in.PC)
 		predTaken, predTarget := false, isa.Addr(0)
 		switch in.BrKind {
@@ -153,19 +150,18 @@ func (f *FrontEnd) predictBTB(tf *threadFE) *ftq.Request {
 		if predTaken {
 			tf.path.Push(predTarget)
 		}
-		f.finishBranch(tf, req, i, in, info, predTaken, predTarget)
-		return req
+		f.finishBranch(tf, in, info, predTaken, predTarget)
+		return
 	}
-	return req
 }
 
 // predictFTB forms one fetch block for the gskew+FTB engine. On an FTB hit
 // the block runs to the entry's terminating ever-taken branch, spanning
 // embedded never-taken branches; the terminator's direction comes from
 // gskew. On a miss the front-end falls back to sequential fetch.
-func (f *FrontEnd) predictFTB(tf *threadFE) *ftq.Request {
+func (f *FrontEnd) predictFTB(tf *threadFE, req *ftq.Request) {
 	start := tf.nextPC
-	req := &ftq.Request{Thread: tf.id, Start: start, WrongPath: tf.wrongPath}
+	req.Start, req.WrongPath = start, tf.wrongPath
 
 	entry, hit := f.ftb.Lookup(start)
 	predLen := f.cfg.FetchPolicy.Width // sequential fallback length
@@ -183,14 +179,14 @@ func (f *FrontEnd) predictFTB(tf *threadFE) *ftq.Request {
 			tf.nextPC = in.PC + isa.InstrSize
 			if in.IsBranch() && in.Taken {
 				if f.embeddedDivergence(tf, req, i, in, start) {
-					return req
+					return
 				}
 			}
 			continue
 		}
 
 		// Predicted terminating branch of the FTB entry.
-		info := tf.checkpointInfo(start, i+1)
+		info := tf.checkpointInfo(req, i, start, i+1)
 		predTaken, predTarget := false, isa.Addr(0)
 		switch entry.Kind {
 		case isa.CondBranch:
@@ -215,21 +211,20 @@ func (f *FrontEnd) predictFTB(tf *threadFE) *ftq.Request {
 		if predTaken {
 			tf.path.Push(predTarget)
 		}
-		f.finishBranch(tf, req, i, in, info, predTaken, predTarget)
-		return req
+		f.finishBranch(tf, in, info, predTaken, predTarget)
+		return
 	}
 	// Sequential fallback block (or FTB-hit block cut short by a
 	// divergence handled above): continue at the next sequential address.
-	return req
 }
 
 // predictStream forms one fetch block for the stream engine: the stream
 // predictor supplies (length, next-stream start); the block is the whole
 // stream, embedded not-taken branches included. On a miss the front-end
 // falls back to sequential fetch.
-func (f *FrontEnd) predictStream(tf *threadFE) *ftq.Request {
+func (f *FrontEnd) predictStream(tf *threadFE, req *ftq.Request) {
 	start := tf.nextPC
-	req := &ftq.Request{Thread: tf.id, Start: start, WrongPath: tf.wrongPath}
+	req.Start, req.WrongPath = start, tf.wrongPath
 
 	pred, hit := f.stream.Predict(start, &tf.path)
 	predLen := f.cfg.FetchPolicy.Width
@@ -250,7 +245,7 @@ func (f *FrontEnd) predictStream(tf *threadFE) *ftq.Request {
 			tf.nextPC = in.PC + isa.InstrSize
 			if in.IsBranch() && in.Taken {
 				if f.embeddedDivergence(tf, req, i, in, start) {
-					return req
+					return
 				}
 			}
 			continue
@@ -258,7 +253,7 @@ func (f *FrontEnd) predictStream(tf *threadFE) *ftq.Request {
 
 		// Predicted stream terminator: always predicted taken.
 		f.Predictions++
-		info := tf.checkpointInfo(start, i+1)
+		info := tf.checkpointInfo(req, i, start, i+1)
 		info.StreamPredicted = true
 		predTarget := pred.Next
 		if pred.EndsInReturn {
@@ -271,8 +266,7 @@ func (f *FrontEnd) predictStream(tf *threadFE) *ftq.Request {
 			tf.ras.Push(in.PC + isa.InstrSize)
 		}
 		tf.path.Push(predTarget)
-		f.finishBranch(tf, req, i, in, info, true, predTarget)
-		return req
+		f.finishBranch(tf, in, info, true, predTarget)
+		return
 	}
-	return req
 }

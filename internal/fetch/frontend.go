@@ -29,7 +29,7 @@ import (
 )
 
 // maxBlock bounds any fetch block's length in instructions.
-const maxBlock = bpred.MaxStreamLen
+const maxBlock = ftq.MaxInstrs
 
 // threadFE is the per-thread front-end state.
 type threadFE struct {
@@ -50,6 +50,9 @@ type threadFE struct {
 	path bpred.PathHistory
 
 	queue *ftq.Queue
+	// pool recycles fetch requests; see the ftq package comment for the
+	// lifetime rules.
+	pool *ftq.Pool
 }
 
 // FrontEnd owns the prediction stage: shared predictor tables plus
@@ -99,6 +102,7 @@ func New(cfg *config.Config, programs []*prog.Program, seed uint64) *FrontEnd {
 			seedR: rng.New(tseed ^ 0x60057),
 			ras:   bpred.NewRAS(cfg.RASEntries),
 			queue: ftq.New(cfg.FTQSize),
+			pool:  ftq.NewPool(),
 		}
 		t.nextPC = t.trace.PC()
 		f.threads = append(f.threads, t)
@@ -114,26 +118,29 @@ func (f *FrontEnd) Queue(t int) *ftq.Queue { return f.threads[t].queue }
 func (f *FrontEnd) CanPredict(t int) bool { return !f.threads[t].queue.Full() }
 
 // Predict forms one fetch block for thread t and pushes it into the
-// thread's FTQ, returning the pushed request (nil if none was produced).
-func (f *FrontEnd) Predict(t int) *ftq.Request {
+// thread's FTQ, returning the block length in instructions (0 if no block
+// was produced). The request itself stays owned by the FTQ and the pool —
+// callers never see it, so they cannot mutate a queued block mid-flight.
+func (f *FrontEnd) Predict(t int) int {
 	tf := f.threads[t]
 	if tf.queue.Full() {
-		return nil
+		return 0
 	}
-	var req *ftq.Request
+	req := tf.pool.Get(tf.id)
 	switch f.engine {
 	case config.GShareBTB:
-		req = f.predictBTB(tf)
+		f.predictBTB(tf, req)
 	case config.GSkewFTB:
-		req = f.predictFTB(tf)
+		f.predictFTB(tf, req)
 	default:
-		req = f.predictStream(tf)
+		f.predictStream(tf, req)
 	}
-	if req == nil || len(req.Instrs) == 0 {
-		return nil
+	if req.Len() == 0 {
+		req.Release()
+		return 0
 	}
 	tf.queue.Push(req)
-	return req
+	return req.Len()
 }
 
 // source returns the stream blocks are currently formed from.
@@ -246,6 +253,61 @@ func (f *FrontEnd) CommitBranch(t int, in *isa.Instruction, info *ftq.BranchInfo
 			})
 		}
 	}
+}
+
+// PoolStats reports thread t's request-pool size: requests ever allocated
+// and requests currently on the free list. Allocation must plateau once
+// the simulator is warm (the working set is FTQ capacity plus requests
+// pinned by in-flight branch uops).
+func (f *FrontEnd) PoolStats(t int) (allocated, free int) {
+	p := f.threads[t].pool
+	return p.Allocated(), p.FreeLen()
+}
+
+// CheckPoolInvariants validates every thread's request pool against its
+// FTQ: no pooled request may be live, queued, or among extraLive (requests
+// pinned by in-flight uops, supplied by the caller), no request may appear
+// twice on a free list, and every queued request must be live. It exists
+// for tests; the pool itself enforces the same properties with panics on
+// each transition.
+func (f *FrontEnd) CheckPoolInvariants(extraLive ...*ftq.Request) error {
+	pinned := make(map[*ftq.Request]bool, len(extraLive))
+	for _, r := range extraLive {
+		pinned[r] = true
+	}
+	for _, tf := range f.threads {
+		queued := map[*ftq.Request]bool{}
+		var qerr error
+		tf.queue.Each(func(r *ftq.Request) {
+			if !r.Live() && qerr == nil {
+				qerr = fmt.Errorf("fetch: thread %d FTQ holds a pooled request", tf.id)
+			}
+			queued[r] = true
+		})
+		if qerr != nil {
+			return qerr
+		}
+		seen := map[*ftq.Request]bool{}
+		var perr error
+		tf.pool.ForEachFree(func(r *ftq.Request) {
+			switch {
+			case perr != nil:
+			case r.Live():
+				perr = fmt.Errorf("fetch: thread %d free list holds a live request", tf.id)
+			case queued[r]:
+				perr = fmt.Errorf("fetch: thread %d free list holds a queued request", tf.id)
+			case pinned[r]:
+				perr = fmt.Errorf("fetch: thread %d free list holds a request pinned by an in-flight uop", tf.id)
+			case seen[r]:
+				perr = fmt.Errorf("fetch: thread %d request appears twice on the free list", tf.id)
+			}
+			seen[r] = true
+		})
+		if perr != nil {
+			return perr
+		}
+	}
+	return nil
 }
 
 // TableStats exposes predictor-structure statistics for reports.

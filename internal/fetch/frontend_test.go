@@ -1,0 +1,243 @@
+package fetch
+
+import (
+	"testing"
+
+	"smtfetch/internal/bench"
+	"smtfetch/internal/config"
+	"smtfetch/internal/ftq"
+	"smtfetch/internal/isa"
+	"smtfetch/internal/prog"
+	"smtfetch/internal/rng"
+)
+
+// newTestFE builds a two-thread front-end on a branchy workload.
+func newTestFE(t testing.TB, engine config.Engine, seed uint64) (*FrontEnd, *config.Config) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Engine = engine
+	st := seed
+	programs := []*prog.Program{
+		prog.Build(bench.MustProfile("gzip"), rng.SplitMix64(&st)),
+		prog.Build(bench.MustProfile("twolf"), rng.SplitMix64(&st)),
+	}
+	return New(&cfg, programs, rng.SplitMix64(&st)), &cfg
+}
+
+// driveToMisprediction predicts blocks for thread 0 until the front-end
+// enters wrong-path mode, and returns the diverging branch's metadata plus
+// a copy of the branch instruction itself (which carries the path truth).
+func driveToMisprediction(t *testing.T, fe *FrontEnd) (*ftq.BranchInfo, isa.Instruction) {
+	t.Helper()
+	tf := fe.threads[0]
+	for tries := 0; tries < 100_000; tries++ {
+		if tf.wrongPath {
+			break
+		}
+		if fe.Predict(0) == 0 {
+			tf.queue.Clear()
+		}
+	}
+	if !tf.wrongPath {
+		t.Fatal("no misprediction in 100k blocks; workload not branchy enough for the test")
+	}
+	// The block that diverged is the most recently pushed one; its
+	// metadata sits on the last instruction that carries any.
+	var last *ftq.Request
+	tf.queue.Each(func(r *ftq.Request) { last = r })
+	if last == nil {
+		t.Fatal("wrong path entered with an empty FTQ")
+	}
+	for i := last.Len() - 1; i >= 0; i-- {
+		if info := last.Branch(i); info != nil {
+			if info.Resolve == ftq.ResolveNone {
+				t.Fatal("diverging block's branch marked ResolveNone")
+			}
+			return info, *last.Instr(i)
+		}
+	}
+	t.Fatal("diverging block carries no branch metadata")
+	return nil, isa.Instruction{}
+}
+
+// TestRecoverRestoresCheckpoints drives the front-end into a wrong path,
+// lets it wander, then resolves the branch and checks that GHR, RAS, and
+// path history equal "checkpoint + actual outcome" exactly.
+func TestRecoverRestoresCheckpoints(t *testing.T) {
+	for _, eng := range []config.Engine{config.GShareBTB, config.GSkewFTB, config.StreamFetch} {
+		fe, _ := newTestFE(t, eng, 0xC0FFEE)
+		tf := fe.threads[0]
+
+		// Find a misprediction whose resolving instruction is a
+		// conditional branch: the actual outcome then perturbs only GHR
+		// and path history, so the expected post-recovery RAS is exactly
+		// the checkpoint (for calls/returns the buried stack entries are
+		// not observable from outside bpred). Other kinds are resolved
+		// and skipped.
+		var info *ftq.BranchInfo
+		var actual isa.Instruction
+		for tries := 0; tries < 50; tries++ {
+			info, actual = driveToMisprediction(t, fe)
+			if actual.BrKind == isa.CondBranch {
+				break
+			}
+			fe.Recover(0, info, &actual, actual.NextPC())
+			info = nil
+		}
+		if info == nil {
+			t.Fatalf("%v: no conditional misprediction in 50 recoveries", eng)
+		}
+
+		// Wander down the wrong path to thoroughly perturb the
+		// speculative state the recovery must repair.
+		for i := 0; i < 50; i++ {
+			if fe.Predict(0) == 0 {
+				tf.queue.Clear()
+			}
+		}
+		if !tf.wrongPath {
+			t.Fatalf("%v: left wrong-path mode without a recovery", eng)
+		}
+
+		// Expected post-recovery state: the checkpoint plus the actual
+		// conditional outcome, replayed here independently.
+		wantGHR := info.GHR << 1
+		if actual.Taken {
+			wantGHR |= 1
+		}
+		wantPath := info.PathCp
+		if actual.Taken {
+			wantPath.Push(actual.Target)
+		}
+
+		fe.Recover(0, info, &actual, actual.NextPC())
+
+		if tf.wrongPath {
+			t.Fatalf("%v: still on wrong path after Recover", eng)
+		}
+		if tf.queue.Len() != 0 {
+			t.Fatalf("%v: FTQ not cleared by Recover", eng)
+		}
+		if tf.nextPC != actual.NextPC() {
+			t.Fatalf("%v: nextPC = %#x, want %#x", eng, tf.nextPC, actual.NextPC())
+		}
+		if tf.ghr != wantGHR {
+			t.Fatalf("%v: GHR = %#x, want %#x", eng, tf.ghr, wantGHR)
+		}
+		if tf.ras.Checkpoint() != info.RASCp {
+			t.Fatalf("%v: RAS state not restored to the checkpoint", eng)
+		}
+		if tf.path != wantPath {
+			t.Fatalf("%v: path history not restored+corrected", eng)
+		}
+		// Fetch must resume seamlessly on the committed path.
+		if fe.Predict(0) == 0 {
+			t.Fatalf("%v: no block producible right after recovery", eng)
+		}
+	}
+}
+
+// TestGhostStreamReuse checks that consecutive mispredictions reuse one
+// ghost stream object per thread instead of allocating a new walker each
+// time — the wrong-path side of the allocation-free front-end.
+func TestGhostStreamReuse(t *testing.T) {
+	fe, _ := newTestFE(t, config.GShareBTB, 0x60057)
+	tf := fe.threads[0]
+
+	var ghost *prog.Stream
+	for round := 0; round < 5; round++ {
+		info, actual := driveToMisprediction(t, fe)
+		if ghost == nil {
+			ghost = tf.ghost
+		} else if tf.ghost != ghost {
+			t.Fatalf("round %d: ghost stream reallocated", round)
+		}
+		// A few wrong-path blocks, then resolve and go again.
+		for i := 0; i < 10; i++ {
+			if fe.Predict(0) == 0 {
+				tf.queue.Clear()
+			}
+		}
+		fe.Recover(0, info, &actual, actual.NextPC())
+	}
+	if ghost == nil {
+		t.Fatal("no ghost stream was ever created")
+	}
+}
+
+// TestCommitBranchTrains checks the commit-time training paths: gshare
+// counters move toward the outcome and the BTB learns taken targets; the
+// FTB learns (start, length, target) blocks.
+func TestCommitBranchTrains(t *testing.T) {
+	fe, _ := newTestFE(t, config.GShareBTB, 1)
+	in := isa.Instruction{
+		PC: 0x4000, Class: isa.Branch, BrKind: isa.CondBranch,
+		Taken: true, Target: 0x8000, FallThrough: 0x4004,
+	}
+	info := &ftq.BranchInfo{GHR: 0x2A}
+	for i := 0; i < 4; i++ {
+		fe.CommitBranch(0, &in, info)
+	}
+	if !fe.gshare.Predict(in.PC, info.GHR) {
+		t.Fatal("gshare not trained toward taken")
+	}
+	if e, ok := fe.btb.Lookup(in.PC); !ok || e.Target != in.Target || e.Kind != isa.CondBranch {
+		t.Fatalf("BTB entry after training: %+v ok=%v", e, ok)
+	}
+
+	fe2, _ := newTestFE(t, config.GSkewFTB, 1)
+	info2 := &ftq.BranchInfo{GHR: 0x2A, BlockStart: 0x3000, BlockInstrs: 7}
+	for i := 0; i < 4; i++ {
+		fe2.CommitBranch(0, &in, info2)
+	}
+	if !fe2.gskew.Predict(in.PC, info2.GHR) {
+		t.Fatal("gskew not trained toward taken")
+	}
+	if e, ok := fe2.ftb.Lookup(info2.BlockStart); !ok || e.Instrs != 7 || e.Target != in.Target {
+		t.Fatalf("FTB entry after training: %+v ok=%v", e, ok)
+	}
+}
+
+// TestPredictPoolInvariants hammers the predict/consume/recover cycle at
+// the front-end level and validates the request-pool invariants throughout,
+// including requests pinned by simulated in-flight uops.
+func TestPredictPoolInvariants(t *testing.T) {
+	for _, eng := range []config.Engine{config.GShareBTB, config.GSkewFTB, config.StreamFetch} {
+		fe, _ := newTestFE(t, eng, 0xA11A5)
+		var pinned []*ftq.Request
+		r := rng.New(7)
+		for step := 0; step < 20_000; step++ {
+			th := int(r.Uint64() % 2)
+			fe.Predict(th)
+			q := fe.Queue(th)
+			if req := q.Head(); req != nil {
+				switch r.Uint64() % 4 {
+				case 0: // fetch the whole block, pinning its metadata
+					req.Consumed = req.Len()
+					req.Retain()
+					pinned = append(pinned, req)
+					q.PopHead()
+				case 1: // front-end squash
+					q.Clear()
+				}
+			}
+			// Commit/squash some pinned requests.
+			for len(pinned) > 8 {
+				pinned[0].Release()
+				pinned = pinned[1:]
+			}
+			if step%500 == 0 {
+				if err := fe.CheckPoolInvariants(pinned...); err != nil {
+					t.Fatalf("%v, step %d: %v", eng, step, err)
+				}
+			}
+		}
+		if err := fe.CheckPoolInvariants(pinned...); err != nil {
+			t.Fatalf("%v, final: %v", eng, err)
+		}
+		a0, f0 := fe.PoolStats(0)
+		if a0 == 0 || f0 == 0 {
+			t.Fatalf("%v: pool inert (allocated=%d free=%d); invariants vacuous", eng, a0, f0)
+		}
+	}
+}

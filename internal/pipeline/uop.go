@@ -15,8 +15,13 @@ import (
 type UOp struct {
 	isa.Instruction
 	// Info carries branch-prediction metadata (nil for most
-	// instructions).
+	// instructions). It points into Req's inline storage: whenever Info is
+	// non-nil, Req names the pooled fetch request that owns the record and
+	// on which this uop holds one reference (taken at fetch, dropped when
+	// the uop commits or is squashed). Req is nil exactly when Info is.
 	Info *ftq.BranchInfo
+	// Req is the pooled fetch request Info points into; see Info.
+	Req *ftq.Request
 	// Thread is the hardware context id.
 	Thread int
 	// Ghost marks wrong-path micro-ops; they consume resources but are
