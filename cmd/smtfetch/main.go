@@ -233,7 +233,11 @@ func cmdList(args []string) error {
 	for _, e := range smtfetch.Engines() {
 		fmt.Printf("  %s\n", e)
 	}
-	fmt.Println("policies (paper grid; RR.T.W variants also accepted):")
+	fmt.Println("policies (any POLICY.T.W combination is accepted, e.g. BRCOUNT.2.8):")
+	for _, p := range smtfetch.Policies() {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println("paper fetch-policy grid (the default sweep axis):")
 	for _, p := range smtfetch.FetchPolicies() {
 		fmt.Printf("  %s\n", p)
 	}
@@ -288,7 +292,7 @@ func cmdBench(args []string) error {
 	measure := fs.Uint64("measure", 0, "measured instructions per cell (0 = default 300k)")
 	quick := fs.Bool("quick", false, "CI mode: 10k warm-up, 50k measured instructions")
 	// The default output deliberately differs from the checked-in
-	// BENCH_PR3.json baseline so a bare `bench -baseline ...` run cannot
+	// BENCH_PR4.json baseline so a bare `bench -baseline ...` run cannot
 	// clobber the reference it (or CI) compares against.
 	out := fs.String("o", "BENCH_LOCAL.json", "write the perf report JSON to this file ('-' = stdout)")
 	baseline := fs.String("baseline", "", "compare against this perf report and fail on regressions")

@@ -1,7 +1,8 @@
 // Package config defines the simulated machine configuration. The defaults
 // reproduce Table 3 of the paper ("Simulation parameters"); the experiment
-// harness varies only the fetch engine, the fetch policy (1.X / 2.X), and
-// the fetch width (8 / 16).
+// harness varies the fetch engine, the fetch policy (the full SMT
+// fetch-policy family, see Policy), the threads-per-cycle count (1 / 2),
+// and the fetch width (8 / 16).
 package config
 
 import (
@@ -60,42 +61,80 @@ func ParseEngine(s string) (Engine, error) {
 	return 0, fmt.Errorf("config: unknown engine %q (want one of %v)", s, Engines())
 }
 
-// Policy selects how the fetch policy prioritizes threads.
+// Policy selects how the fetch policy prioritizes threads. ICount and
+// RoundRobin are the policies the paper itself sweeps; the rest are the
+// classic SMT fetch-policy family from the literature, implemented so the
+// sweep grid can compare the paper's fetch engines under every policy.
 type Policy uint8
 
 const (
 	// ICount prioritizes threads with the fewest instructions in the
-	// pre-issue pipeline stages (Tullsen et al.).
+	// pre-issue pipeline stages (Tullsen et al., ISCA 1996).
 	ICount Policy = iota
 	// RoundRobin rotates priority among runnable threads each cycle.
 	RoundRobin
+	// BRCount prioritizes threads with the fewest unresolved branches in
+	// flight, throttling deep speculation (Tullsen et al., ISCA 1996).
+	BRCount
+	// MissCount prioritizes threads with the fewest outstanding D-cache
+	// misses (Tullsen et al., ISCA 1996).
+	MissCount
+	// IQPosn penalizes threads whose micro-ops sit nearest the heads of
+	// the issue queues — the threads most likely to clog them (Tullsen et
+	// al., ISCA 1996).
+	IQPosn
+	// Stall is ICount plus a gate: a thread with an outstanding
+	// long-latency (L2-miss) load stops fetching until the load returns
+	// (Tullsen & Brown, MICRO 2001).
+	Stall
+	// Flush is Stall plus recovery: when the long-latency load is
+	// detected, the thread's younger in-flight micro-ops are flushed so
+	// their ROB/issue-queue/register resources go to other threads, and
+	// are refetched once the load returns (Tullsen & Brown, MICRO 2001).
+	Flush
 )
 
-// String names the policy.
+// String names the policy as spelled in the CLI and sweep JSON.
 func (p Policy) String() string {
 	switch p {
 	case ICount:
 		return "ICOUNT"
 	case RoundRobin:
 		return "RR"
+	case BRCount:
+		return "BRCOUNT"
+	case MissCount:
+		return "MISSCOUNT"
+	case IQPosn:
+		return "IQPOSN"
+	case Stall:
+		return "STALL"
+	case Flush:
+		return "FLUSH"
 	default:
 		return fmt.Sprintf("policy(%d)", uint8(p))
 	}
 }
 
-// Policies lists the thread-selection policies the paper studies.
-func Policies() []Policy { return []Policy{ICount, RoundRobin} }
+// Policies lists every implemented thread-selection policy: the two the
+// paper sweeps first, then the rest of the literature family.
+func Policies() []Policy {
+	return []Policy{ICount, RoundRobin, BRCount, MissCount, IQPosn, Stall, Flush}
+}
 
 // ParsePolicy resolves a policy name as printed by Policy.String
-// (case-insensitive).
+// (case-insensitive). "ROUNDROBIN" is accepted as an alias for "RR".
 func ParsePolicy(s string) (Policy, error) {
-	switch strings.ToUpper(strings.TrimSpace(s)) {
-	case "ICOUNT":
-		return ICount, nil
-	case "RR", "ROUNDROBIN":
+	name := strings.ToUpper(strings.TrimSpace(s))
+	if name == "ROUNDROBIN" {
 		return RoundRobin, nil
 	}
-	return 0, fmt.Errorf("config: unknown policy %q (want ICOUNT or RR)", s)
+	for _, p := range Policies() {
+		if name == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown policy %q (want one of %v)", s, Policies())
 }
 
 // FetchPolicy is the paper's POLICY.T.W notation: up to Width instructions
@@ -131,9 +170,17 @@ func FetchPolicies() []FetchPolicy {
 	return []FetchPolicy{ICount18, ICount28, ICount116, ICount216}
 }
 
-// AllFetchPolicies additionally includes the round-robin variants.
+// AllFetchPolicies crosses every Policy with the paper's four T.W shapes
+// (1.8, 2.8, 1.16, 2.16), ICOUNT variants first to preserve paper order.
 func AllFetchPolicies() []FetchPolicy {
-	return []FetchPolicy{ICount18, ICount28, ICount116, ICount216, RR18, RR28, RR116, RR216}
+	shapes := [][2]int{{1, 8}, {2, 8}, {1, 16}, {2, 16}}
+	out := make([]FetchPolicy, 0, len(Policies())*len(shapes))
+	for _, p := range Policies() {
+		for _, tw := range shapes {
+			out = append(out, FetchPolicy{Policy: p, Threads: tw[0], Width: tw[1]})
+		}
+	}
+	return out
 }
 
 // ParseFetchPolicy parses the POLICY.T.W notation (e.g. "ICOUNT.2.8",

@@ -53,8 +53,26 @@ func TestPolicyStringParseRoundTrip(t *testing.T) {
 			t.Errorf("ParsePolicy(%q) = %v,%v, want %v,nil", p.String(), got, err, p)
 		}
 	}
+	if got, err := ParsePolicy("roundrobin"); err != nil || got != RoundRobin {
+		t.Errorf("ParsePolicy(roundrobin) = %v,%v, want RR,nil", got, err)
+	}
 	if _, err := ParsePolicy("LRU"); err == nil {
 		t.Error("ParsePolicy(LRU) succeeded, want error")
+	}
+}
+
+// TestParsePolicyErrorListsAllPolicies pins the fix for the hardcoded
+// "want ICOUNT or RR" message: the error must name every policy that
+// Policies() returns, so the hint can never drift as policies are added.
+func TestParsePolicyErrorListsAllPolicies(t *testing.T) {
+	_, err := ParsePolicy("LRU")
+	if err == nil {
+		t.Fatal("ParsePolicy(LRU) succeeded, want error")
+	}
+	for _, p := range Policies() {
+		if !strings.Contains(err.Error(), p.String()) {
+			t.Errorf("ParsePolicy error %q does not mention %v", err, p)
+		}
 	}
 }
 

@@ -13,8 +13,13 @@ import (
 // paper's Figure 7 analysis centres on, and a realistic mix of I-cache
 // pressure, D-cache misses, and mispredictions for the hot loop.
 func newBenchSim(tb testing.TB, engine config.Engine) *Sim {
+	return newBenchSimPolicy(tb, engine, config.Default().FetchPolicy)
+}
+
+func newBenchSimPolicy(tb testing.TB, engine config.Engine, fp config.FetchPolicy) *Sim {
 	cfg := config.Default()
 	cfg.Engine = engine
+	cfg.FetchPolicy = fp
 	w, err := bench.WorkloadByName("4_MIX")
 	if err != nil {
 		tb.Fatal(err)
@@ -67,6 +72,19 @@ func BenchmarkCycleStream(b *testing.B) {
 // paths the other two engines never reach.
 func BenchmarkCycleFTB(b *testing.B) {
 	s := newBenchSim(b, config.GSkewFTB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cycle()
+	}
+}
+
+// BenchmarkCycleFlush is the same loop under the FLUSH fetch policy, whose
+// flush/replay machinery is the most stateful policy path; it must stay
+// allocation-free like the rest of the cycle loop.
+func BenchmarkCycleFlush(b *testing.B) {
+	s := newBenchSimPolicy(b, config.GShareBTB,
+		config.FetchPolicy{Policy: config.Flush, Threads: 2, Width: 8})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

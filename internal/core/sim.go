@@ -1,8 +1,10 @@
 // Package core implements the cycle-level SMT processor simulator: a
 // 9-stage pipeline with the decoupled front-end of the paper (prediction
 // stage -> FTQs -> fetch stage) feeding a shared out-of-order back-end
-// (decode/rename, shared ROB and issue queues, ICOUNT fetch policy), with
-// trace-driven wrong-path execution.
+// (decode/rename, shared ROB and issue queues), with trace-driven
+// wrong-path execution and the full SMT fetch-policy family (ICOUNT, RR,
+// BRCOUNT, MISSCOUNT, IQPOSN, STALL, FLUSH) selecting which threads fetch
+// each cycle.
 //
 // The cycle loop is allocation-free in steady state: uops come from a
 // per-simulator free list recycled at commit and (after a two-cycle
@@ -31,6 +33,23 @@ type threadState struct {
 	icount             int
 	predictStallUntil  uint64
 	icacheBlockedUntil uint64
+	// Fetch-policy signals beyond ICOUNT, maintained incrementally so no
+	// policy ever scans the pipeline: unresolved branches in flight
+	// (BRCOUNT), outstanding D-cache misses (MISSCOUNT), and outstanding
+	// long-latency loads (the STALL/FLUSH gate).
+	brcount   int
+	dmisses   int
+	longLoads int
+	// pendingFlush is the oldest long-latency load detected this cycle
+	// under the FLUSH policy; flushStage consumes it.
+	pendingFlush *pipeline.UOp
+	// replay holds uops removed by a FLUSH event, in program order, from
+	// replayPos on; they re-enter the fetch buffer once the triggering
+	// load's miss resolves. Flushed uops keep their fetch-request
+	// references, so they appear in no other pipeline structure but are
+	// still live.
+	replay    []*pipeline.UOp
+	replayPos int
 	// ring resolves dependence distances: PathSeq -> producing uop. Entries
 	// may point at uops that have since been recycled; depReady validates
 	// identity (thread, path kind, PathSeq) before trusting one.
@@ -68,14 +87,33 @@ type Sim struct {
 	limboCur []*pipeline.UOp
 	limboOld []*pipeline.UOp
 
-	// Reusable per-cycle scratch: thread order, ICOUNT values, and the
-	// fetch-stage bank-conflict bitmask.
+	// Reusable per-cycle scratch: thread order, policy priority keys, and
+	// the fetch-stage bank-conflict bitmask.
 	orderBuf  []int
-	icountBuf []int
+	keyBuf    []int
 	usedBanks uint64
+	// iqposnBuf holds the per-thread issue-queue head-proximity penalty,
+	// recomputed each cycle under the IQPOSN policy only.
+	iqposnBuf []int
+	// flushBatch/flushTail are FLUSH-policy scratch: the uops collected by
+	// the current flush event, and the surviving tail of an older replay
+	// queue being merged behind them.
+	flushBatch []*pipeline.UOp
+	flushTail  []*pipeline.UOp
 
 	fetchEligible   func(t int) bool
 	predictEligible func(t int) bool
+
+	// Policy-derived switches, fixed at construction: gate fetch on
+	// outstanding long-latency loads (STALL/FLUSH), flush on detection
+	// (FLUSH), recompute IQ positions (IQPOSN).
+	gateLongLoads bool
+	flushPolicy   bool
+	needIQPosn    bool
+	// longLatThreshold classifies a load as long-latency when its
+	// completion lies at least this many cycles out (the memory latency:
+	// only L2 misses reach it).
+	longLatThreshold uint64
 
 	threads  []threadState
 	nthreads int
@@ -117,10 +155,29 @@ func New(cfg config.Config, programs []*prog.Program, seed uint64) (*Sim, error)
 		fetchBuf:  pipeline.NewUOpRing(cfg.FetchBufferSize),
 		frontPipe: pipeline.NewUOpRing(2 * cfg.FetchBufferSize),
 		orderBuf:  make([]int, 0, n),
-		icountBuf: make([]int, n),
+		keyBuf:    make([]int, n),
 
 		frontLatency: cfg.DecodeStages + cfg.RenameStages,
 		mshrCap:      cfg.DMSHRs * n,
+
+		gateLongLoads:    cfg.FetchPolicy.Policy == config.Stall || cfg.FetchPolicy.Policy == config.Flush,
+		flushPolicy:      cfg.FetchPolicy.Policy == config.Flush,
+		needIQPosn:       cfg.FetchPolicy.Policy == config.IQPosn,
+		longLatThreshold: uint64(cfg.MemLatency),
+	}
+	if s.needIQPosn {
+		s.iqposnBuf = make([]int, n)
+	}
+	if s.flushPolicy {
+		// A thread can never have more in-flight uops than the ROB plus
+		// the front-end buffers hold; pre-sizing to that bound keeps the
+		// flush and replay paths allocation-free from the first event.
+		bound := cfg.ROBSize + 3*cfg.FetchBufferSize
+		s.flushBatch = make([]*pipeline.UOp, 0, bound)
+		s.flushTail = make([]*pipeline.UOp, 0, bound)
+		for i := range s.threads {
+			s.threads[i].replay = make([]*pipeline.UOp, 0, bound)
+		}
 	}
 	s.fe = fetch.New(&cfg, programs, seed)
 	s.iqs[pipeline.QInt] = pipeline.NewIssueQueue(cfg.IntQueueSize)
@@ -131,13 +188,23 @@ func New(cfg config.Config, programs []*prog.Program, seed uint64) (*Sim, error)
 	// closure.
 	s.fetchEligible = func(t int) bool {
 		ts := &s.threads[t]
+		if s.gateLongLoads && ts.longLoads > 0 {
+			return false
+		}
 		if ts.icacheBlockedUntil > s.now {
 			return false
+		}
+		if ts.replayPos < len(ts.replay) {
+			return true
 		}
 		return s.fe.Queue(t).Len() > 0
 	}
 	s.predictEligible = func(t int) bool {
-		if s.threads[t].predictStallUntil > s.now {
+		ts := &s.threads[t]
+		if s.gateLongLoads && ts.longLoads > 0 {
+			return false
+		}
+		if ts.predictStallUntil > s.now {
 			return false
 		}
 		return s.fe.CanPredict(t)
@@ -188,6 +255,12 @@ func (s *Sim) Cycle() {
 	s.writeback()
 	s.decodeResolve()
 	s.issue()
+	if s.flushPolicy {
+		s.flushStage()
+	}
+	if s.needIQPosn {
+		s.computeIQPosn()
+	}
 	s.dispatch()
 	s.decodeAdvance()
 	s.fetchStage()
@@ -229,13 +302,78 @@ func (s *Sim) allocUOp() *pipeline.UOp {
 	return u
 }
 
-// icounts gathers the per-thread ICOUNT values into the reused scratch
-// slice.
-func (s *Sim) icounts() []int {
-	for i := range s.threads {
-		s.icountBuf[i] = s.threads[i].icount
+// policyKeys gathers the per-thread priority values the configured fetch
+// policy orders by (lower = higher priority) into the reused scratch slice.
+// STALL and FLUSH order like ICOUNT; their gating happens in the
+// eligibility callbacks.
+func (s *Sim) policyKeys() []int {
+	switch s.cfg.FetchPolicy.Policy {
+	case config.BRCount:
+		for i := range s.threads {
+			s.keyBuf[i] = s.threads[i].brcount
+		}
+	case config.MissCount:
+		for i := range s.threads {
+			s.keyBuf[i] = s.threads[i].dmisses
+		}
+	case config.IQPosn:
+		return s.iqposnBuf
+	default:
+		for i := range s.threads {
+			s.keyBuf[i] = s.threads[i].icount
+		}
 	}
-	return s.icountBuf
+	return s.keyBuf
+}
+
+// computeIQPosn recomputes the IQPOSN penalty: for each issue queue, a
+// thread's oldest entry at position p (0 = head) contributes cap-p — the
+// closer a thread's work sits to a queue head, the longer it has clogged
+// that queue, and the lower its fetch priority. Runs only under the IQPOSN
+// policy, after issue has removed this cycle's issued entries.
+func (s *Sim) computeIQPosn() {
+	for i := range s.iqposnBuf {
+		s.iqposnBuf[i] = 0
+	}
+	for _, q := range s.iqs {
+		qcap := q.Cap()
+		pos := 0
+		var seen uint64
+		for i, n := 0, q.Len(); i < n; i++ {
+			u := q.At(i)
+			if u.Squashed || u.Flushed {
+				continue
+			}
+			if seen&(1<<uint(u.Thread)) == 0 {
+				seen |= 1 << uint(u.Thread)
+				s.iqposnBuf[u.Thread] += qcap - pos
+			}
+			pos++
+		}
+	}
+}
+
+// dropSignals removes u's contributions to the fetch-policy signal
+// counters when it leaves the pipeline early (squash or flush). The
+// normal-completion decrements happen at issue (ICOUNT) and writeback
+// (BRCOUNT, MISSCOUNT, long-load gate).
+func (s *Sim) dropSignals(ts *threadState, u *pipeline.UOp) {
+	if u.InICount {
+		u.InICount = false
+		ts.icount--
+	}
+	if u.InBRCount {
+		u.InBRCount = false
+		ts.brcount--
+	}
+	if u.DMiss {
+		u.DMiss = false
+		ts.dmisses--
+	}
+	if u.LongMiss {
+		u.LongMiss = false
+		ts.longLoads--
+	}
 }
 
 // ---------------------------------------------------------------- commit
@@ -331,7 +469,9 @@ func (s *Sim) releaseReg(u *pipeline.UOp) {
 func (s *Sim) writeback() {
 	out := s.execList[:0]
 	for _, u := range s.execList {
-		if u.Squashed {
+		// Squashed uops were unaccounted at recovery; flushed ones at the
+		// flush event. Both just drop out of the list here.
+		if u.Squashed || u.Flushed {
 			continue
 		}
 		if u.ReadyAt > s.now {
@@ -339,6 +479,22 @@ func (s *Sim) writeback() {
 			continue
 		}
 		u.Done = true
+		// Completion resolves the uop for the policy signals: a finished
+		// branch is no longer unresolved, a finished load's miss is no
+		// longer outstanding.
+		ts := &s.threads[u.Thread]
+		if u.InBRCount {
+			u.InBRCount = false
+			ts.brcount--
+		}
+		if u.DMiss {
+			u.DMiss = false
+			ts.dmisses--
+		}
+		if u.LongMiss {
+			u.LongMiss = false
+			ts.longLoads--
+		}
 		if u.Info != nil && u.Info.Resolve == ftq.ResolveExecute && !u.Ghost && !u.Recovered {
 			u.Recovered = true
 			s.recover(u, s.cfg.MispredictRedirectPenalty)
@@ -355,7 +511,7 @@ func (s *Sim) writeback() {
 func (s *Sim) decodeResolve() {
 	out := s.pendingDecode[:0]
 	for _, u := range s.pendingDecode {
-		if u.Squashed || u.Recovered {
+		if u.Squashed || u.Flushed || u.Recovered {
 			continue
 		}
 		if u.DecodeAt > s.now {
@@ -407,9 +563,10 @@ func (s *Sim) poolFor(c isa.Class) *pipeline.FUPool {
 
 func (s *Sim) startExec(u *pipeline.UOp) {
 	u.Issued = true
+	ts := &s.threads[u.Thread]
 	if u.InICount {
 		u.InICount = false
-		s.threads[u.Thread].icount--
+		ts.icount--
 	}
 	ready := s.now + uint64(s.lat[u.Class])
 	switch u.Class {
@@ -421,6 +578,8 @@ func (s *Sim) startExec(u *pipeline.UOp) {
 		}
 		if res.L1Miss {
 			s.st.DCacheMisses++
+			u.DMiss = true
+			ts.dmisses++
 			if !res.Merged {
 				// A merged access rides an already-counted L2 request
 				// and occupies no new MSHR.
@@ -429,6 +588,17 @@ func (s *Sim) startExec(u *pipeline.UOp) {
 				if res.L2Miss {
 					s.st.L2Misses++
 				}
+			}
+		}
+		// A completion at least a full memory latency out means the load
+		// went to main memory (directly or merged onto an in-flight L2
+		// miss): the long-latency signal the STALL and FLUSH policies
+		// gate on.
+		if res.Ready >= s.now+s.longLatThreshold {
+			u.LongMiss = true
+			ts.longLoads++
+			if s.flushPolicy && (ts.pendingFlush == nil || u.GSeq < ts.pendingFlush.GSeq) {
+				ts.pendingFlush = u
 			}
 		}
 		ready = res.Ready
@@ -567,7 +737,7 @@ func (s *Sim) fetchStage() {
 		width = room
 	}
 
-	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.icounts(), s.fetchEligible, s.now, s.cfg.FetchPolicy.Threads)
+	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.policyKeys(), s.fetchEligible, s.now, s.cfg.FetchPolicy.Threads)
 	s.orderBuf = order[:0]
 	// Count an attempted fetch cycle also when every eligible thread is
 	// blocked on the I-cache (the fetch unit had requests but delivered
@@ -609,6 +779,12 @@ func (s *Sim) fetchStage() {
 // instructions delivered.
 func (s *Sim) fetchFromThread(t, budget int) int {
 	ts := &s.threads[t]
+	if ts.replayPos < len(ts.replay) {
+		// A FLUSH-policy replay in progress supplies the fetch unit
+		// before any new block does: the flushed uops are older than
+		// everything still queued in the FTQ.
+		return s.replayFromThread(t, budget)
+	}
 	q := s.fe.Queue(t)
 	req := q.Head()
 	if req == nil {
@@ -693,6 +869,7 @@ func (s *Sim) fetchFromThread(t, budget int) int {
 		s.gseq++
 		u := s.allocUOp()
 		u.Instruction = *req.Instr(idx)
+		u.SavedDep1, u.SavedDep2 = u.Dep1, u.Dep2
 		if bi := req.Branch(idx); bi != nil {
 			// The uop pins the pooled request alive for as long as it
 			// may read or train from the branch metadata.
@@ -703,12 +880,7 @@ func (s *Sim) fetchFromThread(t, budget int) int {
 		u.Thread = t
 		u.Ghost = req.WrongPath
 		u.GSeq = s.gseq
-		u.FetchedAt = s.now
-		u.InICount = true
-		ts.icount++
-		ts.ring[u.PathSeq&((1<<ringBits)-1)] = u
-		s.fetchBuf.Push(u)
-		s.st.PerThread[t].Fetched++
+		s.deliver(ts, t, u)
 	}
 	req.Consumed += span
 	if req.Remaining() == 0 {
@@ -717,10 +889,145 @@ func (s *Sim) fetchFromThread(t, budget int) int {
 	return span
 }
 
+// deliver finishes a uop's delivery into the fetch buffer — the
+// bookkeeping shared by first fetch and FLUSH replay: fetch stamp, policy
+// signal counts, dependence-ring registration, and the buffer push.
+func (s *Sim) deliver(ts *threadState, t int, u *pipeline.UOp) {
+	u.FetchedAt = s.now
+	u.InICount = true
+	ts.icount++
+	if u.IsBranch() {
+		u.InBRCount = true
+		ts.brcount++
+	}
+	ts.ring[u.PathSeq&((1<<ringBits)-1)] = u
+	s.fetchBuf.Push(u)
+	s.st.PerThread[t].Fetched++
+}
+
+// replayFromThread redelivers up to budget flushed uops from thread t's
+// replay queue into the fetch buffer, oldest first. Redelivered uops keep
+// their identity (GSeq, PathSeq, fetch-request reference, ghost flag) but
+// restart from the fetch stage: they flow through decode/rename and
+// dispatch again, which is the FLUSH policy's refetch cost.
+func (s *Sim) replayFromThread(t, budget int) int {
+	ts := &s.threads[t]
+	n := 0
+	for ts.replayPos < len(ts.replay) && n < budget {
+		u := ts.replay[ts.replayPos]
+		ts.replay[ts.replayPos] = nil
+		ts.replayPos++
+		u.Flushed = false
+		u.Dispatched = false
+		u.Issued = false
+		u.Done = false
+		u.ReadyAt = 0
+		// Restore the dependence distances the issue stage memoized away:
+		// a producer flushed alongside this uop re-executes, and the
+		// consumer must wait for it again.
+		u.Dep1, u.Dep2 = u.SavedDep1, u.SavedDep2
+		s.deliver(ts, t, u)
+		s.st.Replayed++
+		n++
+	}
+	if ts.replayPos == len(ts.replay) {
+		ts.replay = ts.replay[:0]
+		ts.replayPos = 0
+	}
+	return n
+}
+
+// ------------------------------------------------------------ flush stage
+
+// flushStage performs the FLUSH policy's deallocation: for every thread on
+// which issue detected a long-latency load this cycle, the load's younger
+// in-flight uops are removed from the ROB, issue queues, and front-end
+// buffers into the thread's replay queue, releasing their registers and
+// ROB/queue slots to the other threads for the duration of the miss
+// (Tullsen & Brown, MICRO 2001). The thread's fetch is already gated by
+// the long-load signal; once the load completes, the replay queue drains
+// back through the fetch buffer.
+func (s *Sim) flushStage() {
+	for t := range s.threads {
+		ts := &s.threads[t]
+		u := ts.pendingFlush
+		if u == nil {
+			continue
+		}
+		ts.pendingFlush = nil
+		if u.Squashed || u.Flushed || u.Done {
+			continue
+		}
+		s.flushThread(t, u)
+	}
+}
+
+// flushThread moves every thread-t uop younger than u out of the pipeline
+// into the replay queue, in program order. Unlike recovery this touches no
+// front-end state: the FTQ, predictor histories, and trace cursor stay
+// put, and the flushed uops keep their fetch-request references, so replay
+// needs no re-prediction.
+func (s *Sim) flushThread(t int, u *pipeline.UOp) {
+	ts := &s.threads[t]
+	batch := s.rob.FlushYounger(t, u.GSeq, s.flushBatch[:0])
+	// FlushYounger pops the ROB tail youngest-first; reverse to program
+	// order.
+	for i, j := 0, len(batch)-1; i < j; i, j = i+1, j-1 {
+		batch[i], batch[j] = batch[j], batch[i]
+	}
+	for _, q := range s.iqs {
+		q.DropSquashed() // also drops entries just marked flushed
+	}
+	// Front-end buffers hold only uops younger than anything in the ROB,
+	// and fetchBuf only uops younger than frontPipe's, so appending keeps
+	// the batch in program order.
+	batch = s.flushRing(s.frontPipe, t, u.GSeq, batch)
+	batch = s.flushRing(s.fetchBuf, t, u.GSeq, batch)
+	if len(batch) == 0 {
+		s.flushBatch = batch
+		return
+	}
+	for _, v := range batch {
+		s.releaseReg(v)
+		s.dropSignals(ts, v)
+		s.st.FlushedUOps++
+	}
+	s.st.Flushes++
+	// Merge ahead of any replay remainder from an earlier flush: a new
+	// flush point is always older than previously flushed uops.
+	if rem := ts.replay[ts.replayPos:]; len(rem) > 0 {
+		s.flushTail = append(s.flushTail[:0], rem...)
+		ts.replay = append(ts.replay[:0], batch...)
+		ts.replay = append(ts.replay, s.flushTail...)
+	} else {
+		ts.replay = append(ts.replay[:0], batch...)
+	}
+	ts.replayPos = 0
+	s.flushBatch = batch[:0]
+}
+
+// flushRing removes thread t's uops younger than gseq from a front-end
+// ring into dst, marking them flushed. Execution-side lists (execList,
+// pendingDecode) drop flushed entries lazily on their next scan, exactly
+// like squashed ones; redelivery cannot race that scan because the
+// long-load gate keeps the thread unfetchable for at least a full memory
+// latency.
+func (s *Sim) flushRing(r *pipeline.UOpRing, t int, gseq uint64, dst []*pipeline.UOp) []*pipeline.UOp {
+	r.Filter(func(v *pipeline.UOp) bool {
+		if v.Thread == t && v.GSeq > gseq && !v.Squashed && !v.Flushed {
+			v.Flushed = true
+			dst = append(dst, v)
+			return false
+		}
+		return true
+	})
+	return dst
+}
+
 // ---------------------------------------------------------- predict stage
 
 func (s *Sim) predictStage() {
-	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.icounts(), s.predictEligible, s.now, s.cfg.FetchPolicy.Threads)
+	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.policyKeys(), s.predictEligible, s.now, s.cfg.FetchPolicy.Threads)
 	s.orderBuf = order[:0]
 	for _, t := range order {
 		if n := s.fe.Predict(t); n > 0 {
@@ -746,10 +1053,7 @@ func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 	for _, v := range s.limboCur[start:] {
 		s.releaseReg(v)
 		s.releaseRequest(v)
-		if v.InICount {
-			v.InICount = false
-			ts.icount--
-		}
+		s.dropSignals(ts, v)
 		s.st.Squashed++
 		s.st.PerThread[t].Squashed++
 	}
@@ -759,6 +1063,28 @@ func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 	// Front end buffers.
 	s.squashRing(s.fetchBuf, t, u.GSeq, ts)
 	s.squashRing(s.frontPipe, t, u.GSeq, ts)
+	// FLUSH-policy replay uops live outside every pipeline structure, so
+	// recovery must squash them explicitly or they would be redelivered on
+	// a dead path. They are always younger than the recovering uop: the
+	// recovering uop is still in the pipeline, and a flush removed
+	// everything younger than a load that is itself older than the whole
+	// replay window.
+	if ts.replayPos < len(ts.replay) {
+		for _, v := range ts.replay[ts.replayPos:] {
+			if v.GSeq <= u.GSeq {
+				panic("core: replay entry older than recovery point")
+			}
+			v.Squashed = true
+			v.Flushed = false
+			s.releaseRequest(v)
+			s.dropSignals(ts, v)
+			s.st.Squashed++
+			s.st.PerThread[t].Squashed++
+			s.limboCur = append(s.limboCur, v)
+		}
+	}
+	ts.replay = ts.replay[:0]
+	ts.replayPos = 0
 
 	s.fe.Recover(t, u.Info, &u.Instruction, u.NextPC())
 	ts.predictStallUntil = s.now + uint64(penalty)
@@ -775,10 +1101,7 @@ func (s *Sim) squashRing(r *pipeline.UOpRing, t int, gseq uint64, ts *threadStat
 		if v.Thread == t && v.GSeq > gseq && !v.Squashed {
 			v.Squashed = true
 			s.releaseRequest(v)
-			if v.InICount {
-				v.InICount = false
-				ts.icount--
-			}
+			s.dropSignals(ts, v)
 			s.st.Squashed++
 			s.st.PerThread[t].Squashed++
 			s.limboCur = append(s.limboCur, v)

@@ -34,10 +34,10 @@ func newTestSim(t testing.TB, engine config.Engine, seed uint64) *Sim {
 }
 
 // liveUOps collects every uop currently referenced by a pipeline container.
-// fetchBuf, frontPipe and the ROB partition the live set (issue queues,
-// exec list and pendingDecode only hold uops that are also in the ROB or
-// frontPipe); limbo uops are squashed but still draining out of the lazy
-// containers.
+// fetchBuf, frontPipe, the ROB, and the FLUSH-policy replay queues
+// partition the live set (issue queues, exec list and pendingDecode only
+// hold uops that are also in the ROB or frontPipe); limbo uops are
+// squashed but still draining out of the lazy containers.
 func (s *Sim) liveUOps() map[*pipeline.UOp]string {
 	live := map[*pipeline.UOp]string{}
 	add := func(u *pipeline.UOp, where string) {
@@ -66,6 +66,12 @@ func (s *Sim) liveUOps() map[*pipeline.UOp]string {
 	}
 	for _, u := range s.limboOld {
 		add(u, "limboOld")
+	}
+	for t := range s.threads {
+		ts := &s.threads[t]
+		for _, u := range ts.replay[ts.replayPos:] {
+			add(u, "replay")
+		}
 	}
 	return live
 }

@@ -18,8 +18,10 @@ import (
 // PRs a perf trajectory to beat.
 type PerfBench struct {
 	// Workloads, Engines, Policies define the grid; empty axes take a
-	// fixed default (2_MIX/4_MIX/8_MIX × all engines × ICOUNT.1.8) so the
-	// numbers stay comparable across PRs.
+	// fixed default (2_MIX/4_MIX/8_MIX × all engines × {ICOUNT.1.8,
+	// FLUSH.2.8}) so the numbers stay comparable across PRs. FLUSH rides
+	// along because its flush/replay machinery is the most stateful
+	// policy path and deserves its own trajectory.
 	Workloads []string
 	Engines   []config.Engine
 	Policies  []config.FetchPolicy
@@ -88,7 +90,10 @@ func (p *PerfBench) Run() (*PerfReport, error) {
 	}
 	policies := p.Policies
 	if len(policies) == 0 {
-		policies = []config.FetchPolicy{config.ICount18}
+		policies = []config.FetchPolicy{
+			config.ICount18,
+			{Policy: config.Flush, Threads: 2, Width: 8},
+		}
 	}
 	warmup := p.WarmupInstrs
 	if warmup == 0 {

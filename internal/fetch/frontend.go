@@ -15,6 +15,13 @@
 // a committed-path Stream, and on a misprediction the front-end walks a
 // ghost Stream along the predicted path until the branch resolves, exactly
 // like SMTSIM's basic-block-dictionary approach.
+//
+// The package also owns the fetch policy's thread-prioritization mechanism
+// (PrioritizeInto): both pipeline stages that arbitrate between threads —
+// prediction and fetch — order the eligible threads by the configured
+// policy's per-thread priority signal. See the config package for the
+// policy family (ICOUNT, RR, BRCOUNT, MISSCOUNT, IQPOSN, STALL, FLUSH)
+// and the core package for how each signal is maintained.
 package fetch
 
 import (

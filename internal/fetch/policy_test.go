@@ -10,8 +10,8 @@ import (
 
 // referencePrioritize is the original sort.SliceStable implementation; the
 // allocation-free insertion sort must order identically in every case.
-func referencePrioritize(policy config.Policy, icounts []int, eligible func(t int) bool, cycle uint64, max int) []int {
-	n := len(icounts)
+func referencePrioritize(policy config.Policy, keys []int, eligible func(t int) bool, cycle uint64, max int) []int {
+	n := len(keys)
 	cands := make([]int, 0, n)
 	rot := int(cycle % uint64(n))
 	for i := 0; i < n; i++ {
@@ -20,9 +20,9 @@ func referencePrioritize(policy config.Policy, icounts []int, eligible func(t in
 			cands = append(cands, t)
 		}
 	}
-	if policy == config.ICount {
+	if policy != config.RoundRobin {
 		sort.SliceStable(cands, func(a, b int) bool {
-			return icounts[cands[a]] < icounts[cands[b]]
+			return keys[cands[a]] < keys[cands[b]]
 		})
 	}
 	if len(cands) > max {
@@ -31,60 +31,86 @@ func referencePrioritize(policy config.Policy, icounts []int, eligible func(t in
 	return cands
 }
 
-// TestPrioritizeMatchesReference fuzzes thread counts, icounts (with
-// plenty of ties), eligibility masks, cycles, and caps.
+// TestPrioritizeMatchesReference fuzzes thread counts, priority keys (with
+// plenty of ties), eligibility masks, cycles, and caps across every policy
+// in the family.
 func TestPrioritizeMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
+	policies := config.Policies()
 	scratch := make([]int, 0, 8)
 	for iter := 0; iter < 50_000; iter++ {
 		n := 1 + rng.Intn(8)
-		icounts := make([]int, n)
-		for i := range icounts {
-			icounts[i] = rng.Intn(4) // small range forces ties
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(4) // small range forces ties
 		}
 		mask := rng.Intn(1 << n)
 		eligible := func(t int) bool { return mask&(1<<t) != 0 }
 		cycle := uint64(rng.Intn(1000))
 		max := 1 + rng.Intn(n)
-		policy := config.ICount
-		if rng.Intn(2) == 0 {
-			policy = config.RoundRobin
-		}
+		policy := policies[rng.Intn(len(policies))]
 
-		want := referencePrioritize(policy, icounts, eligible, cycle, max)
-		got := PrioritizeInto(scratch, policy, icounts, eligible, cycle, max)
+		want := referencePrioritize(policy, keys, eligible, cycle, max)
+		got := PrioritizeInto(scratch, policy, keys, eligible, cycle, max)
 		if len(got) != len(want) {
-			t.Fatalf("iter %d: len %d vs %d", iter, len(got), len(want))
+			t.Fatalf("iter %d (%v): len %d vs %d", iter, policy, len(got), len(want))
 		}
 		for i := range want {
 			if got[i] != want[i] {
-				t.Fatalf("iter %d: order %v vs %v (icounts %v, mask %b, cycle %d, max %d)",
-					iter, got, want, icounts, mask, cycle, max)
+				t.Fatalf("iter %d (%v): order %v vs %v (keys %v, mask %b, cycle %d, max %d)",
+					iter, policy, got, want, keys, mask, cycle, max)
 			}
 		}
 		scratch = got[:0]
 	}
 }
 
-// TestPrioritizeICountOrder pins the documented semantics on a hand case:
-// lowest icount first, ties broken by rotated thread id.
-func TestPrioritizeICountOrder(t *testing.T) {
-	icounts := []int{5, 0, 0, 9}
+// TestPrioritizeOrdering pins the documented semantics per policy on hand
+// cases: key-sorted policies order by their signal with rotation-based tie
+// breaks, round-robin ignores the keys, and max truncates after ordering.
+func TestPrioritizeOrdering(t *testing.T) {
 	all := func(int) bool { return true }
-	// cycle 2 rotates the tie-break order to 2,3,0,1: thread 2 beats 1.
-	got := Prioritize(config.ICount, icounts, all, 2, 4)
-	want := []int{2, 1, 0, 3}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("got %v, want %v", got, want)
-		}
+	cases := []struct {
+		name   string
+		policy config.Policy
+		keys   []int
+		elig   func(int) bool
+		cycle  uint64
+		max    int
+		want   []int
+	}{
+		// Lowest key first; cycle 2 rotates the tie-break order to
+		// 2,3,0,1, so thread 2 beats thread 1 on the 0-0 tie.
+		{"icount-ties", config.ICount, []int{5, 0, 0, 9}, all, 2, 4, []int{2, 1, 0, 3}},
+		// Round-robin ignores the keys entirely: pure rotation.
+		{"rr-rotation", config.RoundRobin, []int{5, 0, 0, 9}, all, 2, 4, []int{2, 3, 0, 1}},
+		{"rr-rotation-5", config.RoundRobin, []int{1, 1, 1, 1}, all, 5, 4, []int{1, 2, 3, 0}},
+		// Every key-sorted policy orders identically given the same keys.
+		{"brcount", config.BRCount, []int{3, 1, 2, 0}, all, 0, 4, []int{3, 1, 2, 0}},
+		{"misscount", config.MissCount, []int{3, 1, 2, 0}, all, 0, 4, []int{3, 1, 2, 0}},
+		{"iqposn", config.IQPosn, []int{3, 1, 2, 0}, all, 0, 4, []int{3, 1, 2, 0}},
+		{"stall", config.Stall, []int{3, 1, 2, 0}, all, 0, 4, []int{3, 1, 2, 0}},
+		{"flush", config.Flush, []int{3, 1, 2, 0}, all, 0, 4, []int{3, 1, 2, 0}},
+		// max truncates after the sort: the two best threads survive.
+		{"max-truncation", config.BRCount, []int{3, 1, 2, 0}, all, 0, 2, []int{3, 1}},
+		{"rr-truncation", config.RoundRobin, []int{0, 0, 0, 0}, all, 3, 2, []int{3, 0}},
+		// Ineligible threads never appear, even with the best key.
+		{"eligibility", config.MissCount, []int{0, 9, 1, 9},
+			func(t int) bool { return t != 0 }, 0, 4, []int{2, 1, 3}},
+		// All-tied keys degrade every policy to the rotation order.
+		{"all-tied", config.IQPosn, []int{2, 2, 2, 2}, all, 3, 4, []int{3, 0, 1, 2}},
 	}
-	// Round-robin ignores icounts entirely.
-	got = Prioritize(config.RoundRobin, icounts, all, 2, 4)
-	want = []int{2, 3, 0, 1}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("RR got %v, want %v", got, want)
-		}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Prioritize(c.policy, c.keys, c.elig, c.cycle, c.max)
+			if len(got) != len(c.want) {
+				t.Fatalf("got %v, want %v", got, c.want)
+			}
+			for i := range c.want {
+				if got[i] != c.want[i] {
+					t.Fatalf("got %v, want %v", got, c.want)
+				}
+			}
+		})
 	}
 }

@@ -44,11 +44,11 @@ func (q *IssueQueue) Add(u *UOp) bool {
 }
 
 // Scan calls fn on each entry oldest-first; fn returns true to remove the
-// entry (issued). Squashed entries are dropped during the scan.
+// entry (issued). Squashed and flushed entries are dropped during the scan.
 func (q *IssueQueue) Scan(fn func(u *UOp) bool) {
 	out := q.entries[:0]
 	for _, u := range q.entries {
-		if u.Squashed {
+		if u.Squashed || u.Flushed {
 			continue
 		}
 		if fn(u) {
@@ -63,10 +63,16 @@ func (q *IssueQueue) Scan(fn func(u *UOp) bool) {
 	q.entries = out
 }
 
-// DropSquashed removes squashed entries without issuing anything.
+// DropSquashed removes squashed (and flushed) entries without issuing
+// anything.
 func (q *IssueQueue) DropSquashed() {
 	q.Scan(func(*UOp) bool { return false })
 }
+
+// At returns the i-th oldest entry (0 = head). Entries are age-ordered
+// because dispatch is in order; the IQPOSN policy uses this to measure
+// head proximity without a callback.
+func (q *IssueQueue) At(i int) *UOp { return q.entries[i] }
 
 // Each calls fn on every entry oldest-first without side effects (used by
 // invariant checks).

@@ -83,3 +83,18 @@ func (r *ROB) SquashYounger(t int, gseq uint64, dst []*UOp) []*UOp {
 	}
 	return dst
 }
+
+// FlushYounger is SquashYounger for the FLUSH fetch policy: it removes all
+// thread-t uops younger than gseq, marking them flushed (not squashed — the
+// caller keeps them alive for replay) and appending them to dst
+// youngest-first, which is returned.
+func (r *ROB) FlushYounger(t int, gseq uint64, dst []*UOp) []*UOp {
+	q := r.perThread[t]
+	for q.Len() > 0 && q.At(q.Len()-1).GSeq > gseq {
+		u := q.PopTail()
+		u.Flushed = true
+		dst = append(dst, u)
+		r.count--
+	}
+	return dst
+}

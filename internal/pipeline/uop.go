@@ -37,6 +37,13 @@ type UOp struct {
 	// dependence ring.)
 	GSeq uint64
 
+	// SavedDep1/SavedDep2 preserve the instruction's original dependence
+	// distances, captured at first fetch: the issue stage clears
+	// Dep1/Dep2 as they are satisfied (readiness is monotonic, so the
+	// check is memoized), and a FLUSH replay must restore them so a
+	// refetched consumer waits for its refetched producer again.
+	SavedDep1, SavedDep2 uint16
+
 	// FetchedAt is the cycle the uop entered the fetch buffer; EnterFront
 	// the cycle it left the fetch buffer into decode.
 	FetchedAt  uint64
@@ -54,8 +61,22 @@ type UOp struct {
 
 	// InICount marks uops currently counted by the ICOUNT policy.
 	InICount bool
+	// InBRCount marks branch uops currently counted as unresolved by the
+	// BRCOUNT policy (fetched, not yet executed).
+	InBRCount bool
+	// DMiss marks issued loads whose D-cache miss is still outstanding
+	// (the MISSCOUNT policy's signal).
+	DMiss bool
+	// LongMiss marks issued loads identified as long-latency (L2 miss);
+	// the STALL and FLUSH policies gate their thread's fetch on it.
+	LongMiss bool
 	// Squashed marks uops removed by misprediction recovery.
 	Squashed bool
+	// Flushed marks uops removed from the pipeline by the FLUSH policy;
+	// unlike squashed uops they stay alive in their thread's replay queue
+	// (keeping their fetch-request reference) and re-enter the fetch
+	// buffer when the triggering load's miss resolves.
+	Flushed bool
 	// Recovered marks resolve-stage branches whose recovery already ran.
 	Recovered bool
 }

@@ -31,6 +31,14 @@ type Stats struct {
 	Committed uint64
 	// Squashed counts instructions removed by misprediction recovery.
 	Squashed uint64
+	// Flushes counts FLUSH-policy events (one per long-latency load that
+	// triggered a thread flush); FlushedUOps counts the uops those events
+	// removed from the pipeline, and Replayed counts redeliveries of
+	// flushed uops into the fetch buffer after the load returned. All
+	// three stay zero under every other policy.
+	Flushes     uint64
+	FlushedUOps uint64
+	Replayed    uint64
 
 	PerThread []ThreadStats
 
@@ -165,6 +173,11 @@ type Snapshot struct {
 	Fetched     uint64 `json:"fetched"`
 	Committed   uint64 `json:"committed"`
 	Squashed    uint64 `json:"squashed"`
+	// The FLUSH-policy counters are omitted when zero so every other
+	// policy's JSON stays byte-identical to pre-FLUSH baselines.
+	Flushes     uint64 `json:"flushes,omitempty"`
+	FlushedUOps uint64 `json:"flushed_uops,omitempty"`
+	Replayed    uint64 `json:"replayed,omitempty"`
 
 	IPC              float64 `json:"ipc"`
 	IPFC             float64 `json:"ipfc"`
@@ -211,6 +224,9 @@ func (s *Stats) Snapshot() Snapshot {
 		Fetched:     s.Fetched,
 		Committed:   s.Committed,
 		Squashed:    s.Squashed,
+		Flushes:     s.Flushes,
+		FlushedUOps: s.FlushedUOps,
+		Replayed:    s.Replayed,
 
 		IPC:              s.IPC(),
 		IPFC:             s.IPFC(),

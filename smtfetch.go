@@ -9,8 +9,11 @@
 //
 //   - three fetch engines: gshare+BTB (baseline), gskew+FTB, and the
 //     stream fetch unit;
-//   - fetch policies ICOUNT.T.W / RR.T.W — up to W instructions from up to
-//     T threads per cycle (the paper studies 1.8, 2.8, 1.16, 2.16);
+//   - the full SMT fetch-policy family in POLICY.T.W notation — up to W
+//     instructions from up to T threads per cycle (the paper studies
+//     ICOUNT and RR at 1.8, 2.8, 1.16, 2.16; BRCOUNT, MISSCOUNT, IQPOSN,
+//     STALL, and FLUSH extend the study to the classic policies from the
+//     literature);
 //   - the paper's SPECint2000 workloads (Table 2), modelled synthetically.
 //
 // Quick start (CLI) — sweep the engine×policy grid over one workload on
@@ -56,6 +59,22 @@ const (
 // Engine selects the fetch engine; see the config package for values.
 type Engine = config.Engine
 
+// Policy selects the thread-prioritization heuristic; see the config
+// package for the semantics of each value.
+type Policy = config.Policy
+
+// Re-exported fetch-policy selectors: the paper's two plus the classic
+// SMT fetch-policy family from the literature.
+const (
+	ICountPolicy = config.ICount
+	RRPolicy     = config.RoundRobin
+	BRCount      = config.BRCount
+	MissCount    = config.MissCount
+	IQPosn       = config.IQPosn
+	Stall        = config.Stall
+	Flush        = config.Flush
+)
+
 // FetchPolicy is the paper's POLICY.T.W notation.
 type FetchPolicy = config.FetchPolicy
 
@@ -75,19 +94,27 @@ var (
 // Engines lists the fetch engines in paper order.
 func Engines() []Engine { return config.Engines() }
 
+// Policies lists every implemented thread-selection policy (ICOUNT, RR,
+// BRCOUNT, MISSCOUNT, IQPOSN, STALL, FLUSH).
+func Policies() []Policy { return config.Policies() }
+
 // FetchPolicies lists the four ICOUNT.T.W policies the paper's figures
 // evaluate, in paper order.
 func FetchPolicies() []FetchPolicy { return config.FetchPolicies() }
 
-// AllFetchPolicies additionally includes the round-robin variants.
+// AllFetchPolicies crosses every policy with the paper's four T.W shapes.
 func AllFetchPolicies() []FetchPolicy { return config.AllFetchPolicies() }
 
 // ParseEngine resolves an engine name ("gshare+BTB", "gskew+FTB",
 // "stream", or the short aliases "gshare"/"gskew").
 func ParseEngine(s string) (Engine, error) { return config.ParseEngine(s) }
 
-// ParseFetchPolicy parses POLICY.T.W notation, e.g. "ICOUNT.2.8" or
-// "RR.1.16"; it round-trips FetchPolicy.String.
+// ParsePolicy resolves a bare policy name ("ICOUNT", "RR", "BRCOUNT",
+// "MISSCOUNT", "IQPOSN", "STALL", "FLUSH"; case-insensitive).
+func ParsePolicy(s string) (Policy, error) { return config.ParsePolicy(s) }
+
+// ParseFetchPolicy parses POLICY.T.W notation, e.g. "ICOUNT.2.8",
+// "FLUSH.2.8", or "RR.1.16"; it round-trips FetchPolicy.String.
 func ParseFetchPolicy(s string) (FetchPolicy, error) { return config.ParseFetchPolicy(s) }
 
 // MachineConfig is the full Table 3 machine description.

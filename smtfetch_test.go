@@ -92,8 +92,12 @@ func TestEnumerations(t *testing.T) {
 	if got := len(FetchPolicies()); got != 4 {
 		t.Fatalf("FetchPolicies() has %d entries, want 4", got)
 	}
-	if got := len(AllFetchPolicies()); got != 8 {
-		t.Fatalf("AllFetchPolicies() has %d entries, want 8", got)
+	if want := len(Policies()) * 4; len(AllFetchPolicies()) != want {
+		t.Fatalf("AllFetchPolicies() has %d entries, want %d (every policy x 4 T.W shapes)",
+			len(AllFetchPolicies()), want)
+	}
+	if got := len(Policies()); got != 7 {
+		t.Fatalf("Policies() has %d entries, want the 7-policy family", got)
 	}
 	if got := len(Workloads()); got != 10 {
 		t.Fatalf("Workloads() has %d entries, want 10", got)
