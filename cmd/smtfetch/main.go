@@ -2,25 +2,38 @@
 //
 //	smtfetch run     -workload 2_MIX -engine stream -policy ICOUNT.1.16
 //	smtfetch sweep   -workloads 2_MIX,4_MIX -jobs 8 -o results.json
+//	smtfetch sweep   -server http://127.0.0.1:8080 -workloads 2_MIX -o results.json
+//	smtfetch serve   -addr 127.0.0.1:8080 -cache-file cache.json
 //	smtfetch list
 //	smtfetch compare old.json new.json -tol 0.02
 //
 // `sweep` runs the engine×policy×workload×seed grid on a bounded worker
-// pool and writes deterministically ordered JSON; `compare` diffs two such
-// files and exits non-zero on IPC regressions beyond the tolerance, which
-// makes it usable as a CI perf gate.
+// pool and writes deterministically ordered JSON; with -server it posts
+// the same grid to a long-running `smtfetch serve` instance, whose
+// content-keyed cache answers repeated cells without re-simulating.
+// `compare` diffs two such files and exits non-zero on IPC regressions
+// beyond the tolerance or on cells that newly errored, which makes it
+// usable as a CI perf gate.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"smtfetch"
 	"smtfetch/internal/bench"
 	"smtfetch/internal/experiment"
+	"smtfetch/internal/server"
 )
 
 func main() {
@@ -34,6 +47,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "list":
 		err = cmdList(os.Args[2:])
 	case "compare":
@@ -49,6 +64,9 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if err == flag.ErrHelp {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "smtfetch:", err)
 		os.Exit(1)
 	}
@@ -60,6 +78,8 @@ func usage() {
 commands:
   run      simulate a single cell and print its result
   sweep    run an engine x policy x workload x seed grid in parallel
+           (or dispatch it to a sweep server with -server URL)
+  serve    long-running HTTP sweep service with a content-keyed result cache
   list     print the available engines, policies, workloads, benchmarks
   compare  diff two sweep results files and flag IPC regressions
   bench    measure simulator throughput on a fixed grid (perf trajectory)
@@ -77,8 +97,26 @@ func simFlags(fs *flag.FlagSet) (warmup, warmupCycles, measure, maxCycles *uint6
 	return
 }
 
-func cmdRun(args []string) error {
-	fs := flag.NewFlagSet("run", flag.ExitOnError)
+// runSpec is a parsed `run` invocation: the simulator options plus the
+// result label and output mode.
+type runSpec struct {
+	opts   smtfetch.Options
+	cell   experiment.Cell
+	asJSON bool
+}
+
+// runLabel names the result cell: the workload, unless a custom
+// benchmark mix overrides it — those get a distinct "custom:" label so
+// their results never match a real workload cell's key in compare/merge.
+func runLabel(workload, benchmarks string) string {
+	if benchmarks == "" {
+		return workload
+	}
+	return "custom:" + strings.Join(splitList(benchmarks), "+")
+}
+
+func parseRunFlags(args []string) (*runSpec, error) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	workload := fs.String("workload", "2_MIX", "Table 2 workload name")
 	benchmarks := fs.String("benchmarks", "", "comma-separated per-thread benchmarks (overrides -workload)")
 	engine := fs.String("engine", "gshare+BTB", "fetch engine")
@@ -86,77 +124,106 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 1, "replication seed, matching sweep's -seeds axis")
 	asJSON := fs.Bool("json", false, "emit the full stats snapshot as JSON")
 	warmup, warmupCycles, measure, maxCycles := simFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	eng, err := smtfetch.ParseEngine(*engine)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pol, err := smtfetch.ParseFetchPolicy(*policy)
 	if err != nil {
-		return err
-	}
-	// Label custom benchmark mixes distinctly so their results never match
-	// a real workload cell's key in compare/merge.
-	label := *workload
-	if *benchmarks != "" {
-		label = "custom:" + strings.Join(splitList(*benchmarks), "+")
+		return nil, err
 	}
 	// Derive the simulator seed exactly as a sweep would for this cell, so
 	// `run -json` output is cell-for-cell comparable with sweep output.
-	cell := experiment.Cell{Workload: label, Engine: eng, Policy: pol, Seed: *seed}
-	opts := smtfetch.Options{
-		Workload:      *workload,
-		Engine:        eng,
-		Policy:        pol,
-		Seed:          experiment.CellSeed(cell),
-		WarmupInstrs:  *warmup,
-		WarmupCycles:  *warmupCycles,
-		MeasureInstrs: *measure,
-		MaxCycles:     *maxCycles,
+	cell := experiment.Cell{Workload: runLabel(*workload, *benchmarks), Engine: eng, Policy: pol, Seed: *seed}
+	spec := &runSpec{
+		cell:   cell,
+		asJSON: *asJSON,
+		opts: smtfetch.Options{
+			Workload:      *workload,
+			Engine:        eng,
+			Policy:        pol,
+			Seed:          experiment.CellSeed(cell),
+			WarmupInstrs:  *warmup,
+			WarmupCycles:  *warmupCycles,
+			MeasureInstrs: *measure,
+			MaxCycles:     *maxCycles,
+		},
 	}
 	if *benchmarks != "" {
-		opts.Workload = ""
-		opts.Benchmarks = splitList(*benchmarks)
+		spec.opts.Workload = ""
+		spec.opts.Benchmarks = splitList(*benchmarks)
 	}
-	res, err := smtfetch.Run(opts)
+	return spec, nil
+}
+
+func cmdRun(args []string) error {
+	spec, err := parseRunFlags(args)
 	if err != nil {
 		return err
 	}
-	if *asJSON {
+	res, err := smtfetch.Run(spec.opts)
+	if err != nil {
+		return err
+	}
+	if spec.asJSON {
 		snap := res.Stats.Snapshot()
 		r := experiment.Result{
-			Workload: label, Engine: eng.String(), Policy: pol.String(), Seed: *seed,
+			Workload: spec.cell.Workload, Engine: spec.cell.Engine.String(),
+			Policy: spec.cell.Policy.String(), Seed: spec.cell.Seed,
 			IPC: res.IPC, IPFC: res.IPFC, CondAccuracy: res.CondAccuracy, Stats: &snap,
 		}
 		return experiment.WriteJSON(os.Stdout, []experiment.Result{r})
 	}
 	fmt.Printf("%s %s %s: IPC %.3f  IPFC %.3f  branch acc %.4f\n",
-		label, eng, pol, res.IPC, res.IPFC, res.CondAccuracy)
+		spec.cell.Workload, spec.cell.Engine, spec.cell.Policy, res.IPC, res.IPFC, res.CondAccuracy)
 	fmt.Print(res.Stats)
 	return nil
 }
 
-func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+// sweepSpec is a parsed `sweep` invocation: the grid plus where to run
+// it (locally, or on a sweep server) and where the output goes.
+type sweepSpec struct {
+	sweep   experiment.Sweep
+	request server.SweepRequest // the same grid, as a server request
+	server  string              // non-empty: POST to this base URL instead of running locally
+	out     string
+	table   bool
+	quiet   bool
+}
+
+func parseSweepFlags(args []string) (*sweepSpec, error) {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	engines := fs.String("engines", "", "comma-separated engines (default: all three)")
 	policies := fs.String("policies", "", "comma-separated POLICY.T.W policies (default: the paper's four ICOUNT ones)")
 	workloads := fs.String("workloads", "", "comma-separated workloads (default: all of Table 2); -workload is an alias")
 	fs.String("workload", "", "alias for -workloads")
 	seeds := fs.String("seeds", "", "comma-separated replication seeds (default: 1)")
-	jobs := fs.Int("jobs", 0, "parallel workers (0 = NumCPU)")
+	jobs := fs.Int("jobs", 0, "parallel workers (0 = NumCPU; ignored with -server)")
+	srvURL := fs.String("server", "", "dispatch the sweep to this `smtfetch serve` base URL instead of running locally")
 	out := fs.String("o", "", "write results JSON to this file ('-' or empty = stdout)")
 	table := fs.Bool("table", true, "print the aligned result table to stderr")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	warmup, warmupCycles, measure, maxCycles := simFlags(fs)
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
-	sw := experiment.Sweep{
-		Jobs:          *jobs,
-		WarmupInstrs:  *warmup,
-		WarmupCycles:  *warmupCycles,
-		MeasureInstrs: *measure,
-		MaxCycles:     *maxCycles,
+	spec := &sweepSpec{
+		server: *srvURL,
+		out:    *out,
+		table:  *table,
+		quiet:  *quiet,
+		sweep: experiment.Sweep{
+			Jobs:          *jobs,
+			WarmupInstrs:  *warmup,
+			WarmupCycles:  *warmupCycles,
+			MeasureInstrs: *measure,
+			MaxCycles:     *maxCycles,
+		},
 	}
 	if *workloads == "" {
 		*workloads = fs.Lookup("workload").Value.String()
@@ -164,26 +231,52 @@ func cmdSweep(args []string) error {
 	for _, s := range splitList(*engines) {
 		e, err := smtfetch.ParseEngine(s)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		sw.Engines = append(sw.Engines, e)
+		spec.sweep.Engines = append(spec.sweep.Engines, e)
 	}
 	for _, s := range splitList(*policies) {
 		p, err := smtfetch.ParseFetchPolicy(s)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		sw.Policies = append(sw.Policies, p)
+		spec.sweep.Policies = append(spec.sweep.Policies, p)
 	}
-	sw.Workloads = splitList(*workloads)
+	spec.sweep.Workloads = splitList(*workloads)
 	for _, s := range splitList(*seeds) {
 		v, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
-			return fmt.Errorf("bad seed %q: %w", s, err)
+			return nil, fmt.Errorf("bad seed %q: %w", s, err)
 		}
-		sw.Seeds = append(sw.Seeds, v)
+		spec.sweep.Seeds = append(spec.sweep.Seeds, v)
 	}
-	if !*quiet {
+	spec.request = server.SweepRequest{
+		Engines:       splitList(*engines),
+		Policies:      splitList(*policies),
+		Workloads:     spec.sweep.Workloads,
+		Seeds:         spec.sweep.Seeds,
+		WarmupInstrs:  *warmup,
+		WarmupCycles:  *warmupCycles,
+		MeasureInstrs: *measure,
+		MaxCycles:     *maxCycles,
+	}
+	return spec, nil
+}
+
+func cmdSweep(args []string) error {
+	spec, err := parseSweepFlags(args)
+	if err != nil {
+		return err
+	}
+	if spec.server != "" {
+		return runSweepRemote(spec)
+	}
+	return runSweepLocal(spec)
+}
+
+func runSweepLocal(spec *sweepSpec) error {
+	sw := &spec.sweep
+	if !spec.quiet {
 		sw.OnResult = func(done, total int, r experiment.Result) {
 			status := fmt.Sprintf("IPC %.3f", r.IPC)
 			if r.Error != "" {
@@ -193,16 +286,17 @@ func cmdSweep(args []string) error {
 		}
 	}
 
-	// Validate before touching the output file, then open it before
-	// running: a typo'd workload must not truncate an existing baseline,
-	// and an unwritable path must fail in milliseconds, not after a
-	// multi-hour grid.
-	if err := sw.Validate(); err != nil {
+	// Prepare (expand + validate, once) before touching the output file,
+	// then open it before running: a typo'd workload must not truncate an
+	// existing baseline, and an unwritable path must fail in milliseconds,
+	// not after a multi-hour grid.
+	cells, err := sw.Prepare()
+	if err != nil {
 		return err
 	}
 	w := os.Stdout
-	if *out != "" && *out != "-" {
-		f, err := os.Create(*out)
+	if spec.out != "" && spec.out != "-" {
+		f, err := os.Create(spec.out)
 		if err != nil {
 			return err
 		}
@@ -210,24 +304,166 @@ func cmdSweep(args []string) error {
 		w = f
 	}
 
-	results, runErr := sw.Run()
-	if results != nil && *table {
-		fmt.Fprint(os.Stderr, experiment.Table(results))
+	results, runErr := sw.RunCells(cells, nil)
+	return writeSweepOutput(w, spec, results, runErr)
+}
+
+func runSweepRemote(spec *sweepSpec) error {
+	c := &server.Client{BaseURL: spec.server}
+	if !spec.quiet {
+		lastDone := -1 // report only when progress advances, not every poll
+		c.OnProgress = func(done, total int) {
+			if done == lastDone {
+				return
+			}
+			lastDone = done
+			fmt.Fprintf(os.Stderr, "[%d/%d] cells done on %s\n", done, total, spec.server)
+		}
 	}
-	if results != nil {
-		if err := experiment.WriteJSON(w, results); err != nil {
+
+	// Same fail-fast contract as the local path: validate the grid and
+	// open the output file before dispatching, so a typo'd workload or an
+	// unwritable -o fails in milliseconds, not after the server ran a
+	// multi-hour grid. (The server re-validates authoritatively.)
+	if _, err := spec.sweep.Prepare(); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if spec.out != "" && spec.out != "-" {
+		f, err := os.Create(spec.out)
+		if err != nil {
 			return err
 		}
-		if w != os.Stdout {
-			fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), *out)
+		defer f.Close()
+		w = f
+	}
+
+	blob, err := c.Sweep(spec.request)
+	if err != nil {
+		return err
+	}
+	// The server's document is written verbatim — byte-identical to a
+	// local run of the same grid — but parsed too, for the table and so
+	// per-cell failures surface in the exit status exactly like local
+	// sweeps.
+	results, err := experiment.ReadJSON(bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("bad server response: %w", err)
+	}
+	var runErr error
+	var failed []string
+	for _, r := range results {
+		if r.Error != "" {
+			failed = append(failed, fmt.Sprintf("cell %s: %s", r.Key(), r.Error))
+		}
+	}
+	if len(failed) > 0 {
+		runErr = fmt.Errorf("%s", strings.Join(failed, "\n"))
+	}
+	if _, err := w.Write(blob); err != nil {
+		return err
+	}
+	return reportSweepOutcome(w, spec, results, runErr)
+}
+
+// writeSweepOutput renders the table, writes the results document, and
+// qualifies the success message when cells failed.
+func writeSweepOutput(w *os.File, spec *sweepSpec, results []experiment.Result, runErr error) error {
+	if results == nil {
+		return runErr
+	}
+	if err := experiment.WriteJSON(w, results); err != nil {
+		return err
+	}
+	return reportSweepOutcome(w, spec, results, runErr)
+}
+
+func reportSweepOutcome(w *os.File, spec *sweepSpec, results []experiment.Result, runErr error) error {
+	if spec.table {
+		fmt.Fprint(os.Stderr, experiment.Table(results))
+	}
+	if w != os.Stdout {
+		failed := 0
+		for _, r := range results {
+			if r.Error != "" {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "wrote %d results (%d FAILED) to %s\n", len(results), failed, spec.out)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %d results to %s\n", len(results), spec.out)
 		}
 	}
 	return runErr
 }
 
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	cacheSize := fs.Int("cache-size", 4096, "result cache capacity in cells")
+	cacheFile := fs.String("cache-file", "", "persist the result cache to this file (loaded at start, saved on shutdown)")
+	syncLimit := fs.Int("sync-limit", 16, "largest grid answered synchronously; bigger grids get a job ID (-1 = everything async)")
+	jobs := fs.Int("jobs", 0, "parallel workers per sweep (0 = NumCPU)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		CacheSize:     *cacheSize,
+		CacheFile:     *cacheFile,
+		SyncCellLimit: *syncLimit,
+		Jobs:          *jobs,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "smtfetch serve: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "smtfetch serve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	err = httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		<-shutdownDone
+		// Drain running async sweeps so their cells land in the cache
+		// before it is saved, and so polling clients see the jobs finish.
+		srv.WaitJobs()
+		err = nil
+	}
+	if saveErr := srv.SaveCache(); saveErr != nil {
+		// Surface the save failure even when Serve itself errored: the
+		// operator must know the warm cache was NOT persisted.
+		if err == nil {
+			err = saveErr
+		} else {
+			fmt.Fprintln(os.Stderr, "smtfetch serve: cache save failed:", saveErr)
+		}
+	} else if *cacheFile != "" {
+		fmt.Fprintf(os.Stderr, "smtfetch serve: cache saved to %s\n", *cacheFile)
+	}
+	return err
+}
+
 func cmdList(args []string) error {
-	fs := flag.NewFlagSet("list", flag.ExitOnError)
-	fs.Parse(args)
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	fmt.Println("engines:")
 	for _, e := range smtfetch.Engines() {
@@ -253,19 +489,29 @@ func cmdList(args []string) error {
 	return nil
 }
 
-func cmdCompare(args []string) error {
-	fs := flag.NewFlagSet("compare", flag.ExitOnError)
-	tol := fs.Float64("tol", 0.02, "relative IPC drop tolerated before flagging a regression")
-	// Accept both "compare old new -tol x" and "compare -tol x old new".
-	var paths []string
+// parseCompareArgs accepts both "compare old new -tol x" and
+// "compare -tol x old new".
+func parseCompareArgs(args []string) (paths []string, tol float64, err error) {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	tolFlag := fs.Float64("tol", 0.02, "relative IPC drop tolerated before flagging a regression")
 	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		paths = append(paths, args[0])
 		args = args[1:]
 	}
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return nil, 0, err
+	}
 	paths = append(paths, fs.Args()...)
 	if len(paths) != 2 {
-		return fmt.Errorf("compare needs exactly two results files, got %d", len(paths))
+		return nil, 0, fmt.Errorf("compare needs exactly two results files, got %d", len(paths))
+	}
+	return paths, *tolFlag, nil
+}
+
+func cmdCompare(args []string) error {
+	paths, tol, err := parseCompareArgs(args)
+	if err != nil {
+		return err
 	}
 	oldRes, err := experiment.ReadJSONFile(paths[0])
 	if err != nil {
@@ -275,16 +521,16 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep := experiment.Compare(oldRes, newRes, *tol)
-	fmt.Print(rep)
-	if rep.Regressions > 0 {
-		return fmt.Errorf("%d IPC regressions beyond %.1f%% tolerance", rep.Regressions, 100**tol)
+	rep, err := experiment.Compare(oldRes, newRes, tol)
+	if err != nil {
+		return err
 	}
-	return nil
+	fmt.Print(rep)
+	return rep.Err()
 }
 
 func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	workloads := fs.String("workloads", "", "comma-separated workloads (default: 2_MIX,4_MIX,8_MIX)")
 	engines := fs.String("engines", "", "comma-separated engines (default: all three)")
 	policies := fs.String("policies", "", "comma-separated POLICY.T.W policies (default: ICOUNT.1.8)")
@@ -298,7 +544,9 @@ func cmdBench(args []string) error {
 	baseline := fs.String("baseline", "", "compare against this perf report and fail on regressions")
 	tol := fs.Float64("tol", 0.25, "relative throughput drop tolerated vs -baseline (wall clock is machine-dependent)")
 	allocTol := fs.Float64("alloc-tol", 0.01, "absolute allocs/cycle increase tolerated vs -baseline")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	pb := experiment.PerfBench{
 		Workloads:     splitList(*workloads),

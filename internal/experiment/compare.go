@@ -13,39 +13,90 @@ type Delta struct {
 	OldIPC float64 `json:"old_ipc"`
 	NewIPC float64 `json:"new_ipc"`
 	// RelChange is (new-old)/old; nil when the old IPC is zero (a NaN
-	// here would make the whole Report unmarshalable).
+	// here would make the whole Report unmarshalable) or when either side
+	// errored (an error cell's IPC 0 is a failure marker, not a value).
 	RelChange *float64 `json:"rel_change,omitempty"`
 
 	// Regression marks an IPC drop beyond the comparison tolerance.
 	Regression bool `json:"regression"`
 	// MissingIn is "old" or "new" when the cell exists on only one side.
 	MissingIn string `json:"missing_in,omitempty"`
+
+	// OldError / NewError carry the cell's failure message on each side.
+	// A cell with a non-empty error never enters the IPC comparison: its
+	// recorded IPC of 0 is a failure marker, and treating it as a value
+	// would let an errored baseline wave any new number through the gate.
+	OldError string `json:"old_error,omitempty"`
+	NewError string `json:"new_error,omitempty"`
+	// Errored marks an ok-to-error transition: the cell succeeded in old
+	// and failed in new. It fails the gate exactly like a regression.
+	Errored bool `json:"errored,omitempty"`
 }
 
-// Report aggregates a comparison. It is the future perf gate: CI runs a
-// sweep, compares against the checked-in baseline, and fails on
-// Regressions > 0.
+// Report aggregates a comparison. It is the CI perf gate: a sweep is
+// compared against the checked-in baseline and the build fails on
+// Regressions > 0 or Errored > 0.
 type Report struct {
 	Tolerance   float64 `json:"tolerance"`
 	Deltas      []Delta `json:"deltas"`
 	Regressions int     `json:"regressions"`
 	Missing     int     `json:"missing"`
+	// Errored counts ok-to-error transitions (cells that succeeded in old
+	// and failed in new); error-to-ok and error-to-error cells are visible
+	// in their Deltas but do not fail the gate.
+	Errored int `json:"errored"`
+}
+
+// Err returns the gate verdict: non-nil when the report carries
+// regressions or ok-to-error cells.
+func (rep Report) Err() error {
+	if rep.Regressions == 0 && rep.Errored == 0 {
+		return nil
+	}
+	var parts []string
+	if rep.Regressions > 0 {
+		parts = append(parts, fmt.Sprintf("%d IPC regressions beyond %.1f%% tolerance", rep.Regressions, 100*rep.Tolerance))
+	}
+	if rep.Errored > 0 {
+		parts = append(parts, fmt.Sprintf("%d cells newly errored", rep.Errored))
+	}
+	return fmt.Errorf("%s", strings.Join(parts, ", "))
+}
+
+// keyResults indexes results by cell key, rejecting duplicates: a file
+// with two entries for the same cell is ambiguous (last-one-wins would
+// silently drop data), matching the strictness Sweep.Validate applies to
+// grids before they run.
+func keyResults(side string, rs []Result) (map[string]Result, error) {
+	byKey := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		k := r.Key()
+		if _, dup := byKey[k]; dup {
+			return nil, fmt.Errorf("experiment: duplicate cell %s in %s results", k, side)
+		}
+		byKey[k] = r
+	}
+	return byKey, nil
 }
 
 // Compare matches cells of two result sets by key and flags IPC drops
 // larger than tol (a fraction: 0.02 tolerates a 2% drop). Cells present on
-// only one side are reported as missing, never as regressions.
-func Compare(old, new []Result, tol float64) Report {
+// only one side are reported as missing, never as regressions. Cells that
+// errored on either side skip the IPC comparison and are surfaced via the
+// delta's OldError/NewError; an ok-to-error transition counts in
+// Report.Errored and fails Report.Err. Duplicate cell keys on either side
+// are an error.
+func Compare(old, new []Result, tol float64) (Report, error) {
 	if tol < 0 {
 		tol = 0
 	}
-	oldByKey := make(map[string]Result, len(old))
-	for _, r := range old {
-		oldByKey[r.Key()] = r
+	oldByKey, err := keyResults("old", old)
+	if err != nil {
+		return Report{}, err
 	}
-	newByKey := make(map[string]Result, len(new))
-	for _, r := range new {
-		newByKey[r.Key()] = r
+	newByKey, err := keyResults("new", new)
+	if err != nil {
+		return Report{}, err
 	}
 
 	keys := make([]string, 0, len(oldByKey)+len(newByKey))
@@ -71,6 +122,13 @@ func Compare(old, new []Result, tol float64) Report {
 		case !inNew:
 			d.MissingIn = "new"
 			rep.Missing++
+		case o.Error != "" || n.Error != "":
+			d.OldError = o.Error
+			d.NewError = n.Error
+			if o.Error == "" && n.Error != "" {
+				d.Errored = true
+				rep.Errored++
+			}
 		default:
 			if o.IPC != 0 {
 				rc := (n.IPC - o.IPC) / o.IPC
@@ -83,7 +141,7 @@ func Compare(old, new []Result, tol float64) Report {
 		}
 		rep.Deltas = append(rep.Deltas, d)
 	}
-	return rep
+	return rep, nil
 }
 
 // String renders the report as an aligned table plus a one-line verdict.
@@ -94,6 +152,15 @@ func (rep Report) String() string {
 		switch {
 		case d.MissingIn != "":
 			flag = "missing in " + d.MissingIn
+		case d.Errored:
+			change = "n/a"
+			flag = "ERROR(new): " + d.NewError
+		case d.OldError != "" && d.NewError != "":
+			change = "n/a"
+			flag = "error on both sides"
+		case d.OldError != "":
+			change = "n/a"
+			flag = "error in old: " + d.OldError
 		case d.RelChange == nil:
 			change = "n/a"
 		default:
@@ -112,7 +179,7 @@ func (rep Report) String() string {
 	}
 	var b strings.Builder
 	b.WriteString(renderAligned(rows))
-	fmt.Fprintf(&b, "%d cells compared, %d regressions (tolerance %.1f%%), %d missing\n",
-		len(rep.Deltas), rep.Regressions, 100*rep.Tolerance, rep.Missing)
+	fmt.Fprintf(&b, "%d cells compared, %d regressions (tolerance %.1f%%), %d newly errored, %d missing\n",
+		len(rep.Deltas), rep.Regressions, 100*rep.Tolerance, rep.Errored, rep.Missing)
 	return b.String()
 }

@@ -11,6 +11,16 @@ func res(workload, engine, policy string, seed uint64, ipc float64) Result {
 	return Result{Workload: workload, Engine: engine, Policy: policy, Seed: seed, IPC: ipc}
 }
 
+// mustCompare wraps Compare for the tests whose inputs are duplicate-free.
+func mustCompare(t *testing.T, old, new []Result, tol float64) Report {
+	t.Helper()
+	rep, err := Compare(old, new, tol)
+	if err != nil {
+		t.Fatalf("Compare: %v", err)
+	}
+	return rep
+}
+
 func TestCompareFlagsRegression(t *testing.T) {
 	old := []Result{
 		res("2_MIX", "stream", "ICOUNT.1.8", 1, 3.00),
@@ -20,7 +30,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 		res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.80), // -6.7%: regression at 2%
 		res("2_MIX", "stream", "ICOUNT.2.8", 1, 1.97), // -1.5%: inside tolerance
 	}
-	rep := Compare(old, new_, 0.02)
+	rep := mustCompare(t, old, new_, 0.02)
 	if rep.Regressions != 1 {
 		t.Fatalf("Regressions = %d, want 1", rep.Regressions)
 	}
@@ -30,14 +40,20 @@ func TestCompareFlagsRegression(t *testing.T) {
 	if rc := rep.Deltas[0].RelChange; rc == nil || math.Abs(*rc-(-0.2/3.0)) > 1e-12 {
 		t.Fatalf("RelChange = %v", rc)
 	}
+	if rep.Err() == nil {
+		t.Fatal("Err() nil despite a regression")
+	}
 }
 
 func TestCompareImprovementNotFlagged(t *testing.T) {
 	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.00)}
 	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.50)}
-	rep := Compare(old, new_, 0.02)
+	rep := mustCompare(t, old, new_, 0.02)
 	if rep.Regressions != 0 {
 		t.Fatalf("improvement flagged as regression: %+v", rep.Deltas)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v on a clean report", rep.Err())
 	}
 }
 
@@ -46,15 +62,15 @@ func TestCompareToleranceBoundary(t *testing.T) {
 	// Exactly at the boundary: new == old*(1-tol) is NOT a regression
 	// (strict less-than), so gates don't flap on exact-equal baselines.
 	exact := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0.98)}
-	if rep := Compare(old, exact, 0.02); rep.Regressions != 0 {
+	if rep := mustCompare(t, old, exact, 0.02); rep.Regressions != 0 {
 		t.Fatal("boundary value flagged")
 	}
 	below := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0.9799)}
-	if rep := Compare(old, below, 0.02); rep.Regressions != 1 {
+	if rep := mustCompare(t, old, below, 0.02); rep.Regressions != 1 {
 		t.Fatal("below-boundary value not flagged")
 	}
 	// Negative tolerance is clamped to exact matching.
-	if rep := Compare(old, []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0.999)}, -1); rep.Regressions != 1 {
+	if rep := mustCompare(t, old, []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0.999)}, -1); rep.Regressions != 1 {
 		t.Fatal("negative tolerance did not clamp to 0")
 	}
 }
@@ -68,7 +84,7 @@ func TestCompareMissingCells(t *testing.T) {
 		res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0),
 		res("4_MIX", "stream", "ICOUNT.1.8", 1, 1.0),
 	}
-	rep := Compare(old, new_, 0.02)
+	rep := mustCompare(t, old, new_, 0.02)
 	if rep.Missing != 2 {
 		t.Fatalf("Missing = %d, want 2", rep.Missing)
 	}
@@ -92,7 +108,7 @@ func TestCompareMissingCells(t *testing.T) {
 func TestCompareZeroOldIPC(t *testing.T) {
 	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 0)}
 	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0)}
-	rep := Compare(old, new_, 0.02)
+	rep := mustCompare(t, old, new_, 0.02)
 	if rep.Deltas[0].RelChange != nil {
 		t.Fatalf("RelChange for zero baseline = %v, want nil", *rep.Deltas[0].RelChange)
 	}
@@ -103,15 +119,98 @@ func TestCompareZeroOldIPC(t *testing.T) {
 	if _, err := json.Marshal(rep); err != nil {
 		t.Fatalf("report with zero-baseline cell does not marshal: %v", err)
 	}
-	if strings.Contains(Compare(old, new_, 0.02).String(), "NaN") {
+	if strings.Contains(mustCompare(t, old, new_, 0.02).String(), "NaN") {
 		t.Fatal("report renders NaN")
+	}
+}
+
+// Regression test for the error-masking bug: a Result with Error != ""
+// carries IPC 0, and pre-fix Compare treated that 0 as a real value — an
+// error on the old side let any new value pass the gate, and an error on
+// the new side showed up as a generic REGRESSION with no failure message.
+func TestCompareErrorCells(t *testing.T) {
+	okCell := res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.0)
+	errCell := okCell
+	errCell.IPC = 0
+	errCell.Error = "synthetic failure"
+
+	// ok -> error must fail the gate and surface the message.
+	rep := mustCompare(t, []Result{okCell}, []Result{errCell}, 0.02)
+	if rep.Errored != 1 || !rep.Deltas[0].Errored {
+		t.Fatalf("ok->error not counted: %+v", rep)
+	}
+	if rep.Deltas[0].NewError != "synthetic failure" {
+		t.Fatalf("NewError = %q", rep.Deltas[0].NewError)
+	}
+	if rep.Deltas[0].Regression || rep.Regressions != 0 {
+		t.Fatal("error cell double-counted as an IPC regression")
+	}
+	if rep.Deltas[0].RelChange != nil {
+		t.Fatal("error cell got a RelChange from its IPC-0 marker")
+	}
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "errored") {
+		t.Fatalf("Err() = %v, want errored verdict", err)
+	}
+	if s := rep.String(); !strings.Contains(s, "ERROR(new): synthetic failure") {
+		t.Fatalf("report does not surface the new-side error:\n%s", s)
+	}
+
+	// error -> ok is a recovery, not a gate failure — and crucially the
+	// old side's IPC 0 must not be compared against the new value.
+	rep = mustCompare(t, []Result{errCell}, []Result{okCell}, 0.02)
+	if rep.Errored != 0 || rep.Regressions != 0 {
+		t.Fatalf("error->ok flagged: %+v", rep)
+	}
+	if rep.Deltas[0].OldError != "synthetic failure" {
+		t.Fatalf("OldError = %q", rep.Deltas[0].OldError)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v for a recovery", rep.Err())
+	}
+
+	// error -> error stays visible but does not fail the gate.
+	rep = mustCompare(t, []Result{errCell}, []Result{errCell}, 0.02)
+	if rep.Errored != 0 || rep.Err() != nil {
+		t.Fatalf("error->error failed the gate: %+v", rep)
+	}
+	if rep.Deltas[0].OldError == "" || rep.Deltas[0].NewError == "" {
+		t.Fatal("error->error cell lost its messages")
+	}
+}
+
+// Regression test for silent duplicate collapse: two entries for the same
+// cell used to be merged last-one-wins by the keying maps.
+func TestCompareDuplicateKeys(t *testing.T) {
+	a := res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0)
+	b := a
+	b.IPC = 2.0
+	ok := []Result{res("2_MIX", "gshare+BTB", "ICOUNT.1.8", 1, 1.0)}
+
+	if _, err := Compare([]Result{a, b}, ok, 0.02); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("duplicate in old not rejected: %v", err)
+	}
+	if _, err := Compare(ok, []Result{a, b}, 0.02); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("duplicate in new not rejected: %v", err)
+	}
+}
+
+func TestReadJSONRejectsDuplicateKeys(t *testing.T) {
+	a := res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0)
+	b := a
+	b.IPC = 2.0
+	blob, err := MarshalJSONResults([]Result{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJSON(strings.NewReader(string(blob))); err == nil || !strings.Contains(err.Error(), "duplicate cell") {
+		t.Fatalf("ReadJSON accepted duplicate keys: %v", err)
 	}
 }
 
 func TestReportString(t *testing.T) {
 	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 3.0)}
 	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.0)}
-	out := Compare(old, new_, 0.02).String()
+	out := mustCompare(t, old, new_, 0.02).String()
 	for _, frag := range []string{"REGRESSION", "1 regressions", "2_MIX/stream/ICOUNT.1.8/1", "-33.33%"} {
 		if !strings.Contains(out, frag) {
 			t.Fatalf("report missing %q:\n%s", frag, out)

@@ -128,7 +128,25 @@ func (s *Sweep) Cells() []Cell {
 // Validate checks the grid before any simulation starts: every workload
 // must exist and every cell's machine configuration must validate.
 func (s *Sweep) Validate() error {
+	_, err := s.Prepare()
+	return err
+}
+
+// Prepare expands the grid once and validates the resulting cells,
+// returning them so callers can hand the same list to RunCells without
+// re-expanding or re-validating. This is the single place grid validation
+// happens; Validate and Run are built on it.
+func (s *Sweep) Prepare() ([]Cell, error) {
 	cells := s.Cells()
+	if err := s.validateCells(cells); err != nil {
+		return nil, err
+	}
+	return cells, nil
+}
+
+// validateCells checks an already-expanded cell list: non-empty, no
+// duplicate keys, every workload known, every machine config valid.
+func (s *Sweep) validateCells(cells []Cell) error {
 	if len(cells) == 0 {
 		return errors.New("experiment: sweep selects no cells")
 	}
@@ -155,14 +173,29 @@ func (s *Sweep) Validate() error {
 	return nil
 }
 
+// ResultSource supplies a completed Result for a cell without executing
+// the simulator, returning false when it has none. RunCells consults it
+// before ExecuteCell, which lets a cache (or a remote shard) short-circuit
+// cell execution without forking the worker-pool logic.
+type ResultSource func(Cell) (Result, bool)
+
 // Run expands, validates, and executes the sweep on a bounded worker pool.
 // The returned results are sorted by cell key. Cells that fail are reported
 // both in their Result.Error field and in the aggregated error.
 func (s *Sweep) Run() ([]Result, error) {
-	if err := s.Validate(); err != nil {
+	cells, err := s.Prepare()
+	if err != nil {
 		return nil, err
 	}
-	cells := s.Cells()
+	return s.RunCells(cells, nil)
+}
+
+// RunCells executes an already-validated cell list (from Prepare) on the
+// bounded worker pool. For each cell the source, when non-nil, is asked
+// first; a (Result, true) answer is used verbatim and the simulator never
+// runs. Results are sorted by cell key, and failed cells are reported both
+// in their Result.Error field and in the aggregated error.
+func (s *Sweep) RunCells(cells []Cell, src ResultSource) ([]Result, error) {
 	jobs := s.Jobs
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
@@ -183,7 +216,7 @@ func (s *Sweep) Run() ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i] = s.runCell(cells[i])
+				results[i] = s.resolveCell(cells[i], src)
 				if s.OnResult != nil {
 					mu.Lock()
 					done++
@@ -209,8 +242,20 @@ func (s *Sweep) Run() ([]Result, error) {
 	return results, errors.Join(errs...)
 }
 
-// runCell executes one cell via the public smtfetch API. It lives in
-// run.go's runner variable so tests can intercept it; see runner.
-func (s *Sweep) runCell(c Cell) Result {
+// resolveCell answers one cell from the source when it can, else executes.
+func (s *Sweep) resolveCell(c Cell, src ResultSource) Result {
+	if src != nil {
+		if r, ok := src(c); ok {
+			return r
+		}
+	}
+	return s.ExecuteCell(c)
+}
+
+// ExecuteCell runs one cell on the simulator, bypassing any result source.
+// It is the execution half of the pluggable seam: a caching source calls it
+// on a miss and stores what it returns. Execution goes through run.go's
+// runner variable so tests can substitute a fake simulator.
+func (s *Sweep) ExecuteCell(c Cell) Result {
 	return runner(s, c)
 }

@@ -94,7 +94,11 @@ func MarshalJSONResults(rs []Result) ([]byte, error) {
 	return []byte(b.String()), nil
 }
 
-// ReadJSON parses a results file written by WriteJSON.
+// ReadJSON parses a results file written by WriteJSON. Duplicate cell keys
+// are rejected: WriteJSON never produces them (Sweep.Validate bans
+// duplicate cells), so a file containing two entries for one cell is
+// corrupt — most likely a bad hand-merge — and silently keeping either
+// entry would make compare verdicts depend on file order.
 func ReadJSON(r io.Reader) ([]Result, error) {
 	var f resultsFile
 	dec := json.NewDecoder(r)
@@ -103,6 +107,14 @@ func ReadJSON(r io.Reader) ([]Result, error) {
 	}
 	if f.SchemaVersion != SchemaVersion {
 		return nil, fmt.Errorf("experiment: results schema version %d, want %d", f.SchemaVersion, SchemaVersion)
+	}
+	seen := make(map[string]bool, len(f.Results))
+	for _, r := range f.Results {
+		k := r.Key()
+		if seen[k] {
+			return nil, fmt.Errorf("experiment: duplicate cell %s in results file", k)
+		}
+		seen[k] = true
 	}
 	return f.Results, nil
 }

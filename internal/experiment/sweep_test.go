@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"smtfetch/internal/bench"
@@ -130,6 +131,84 @@ func TestRunParallelismInvariant(t *testing.T) {
 	}
 	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
 		t.Fatal("sweep JSON differs across worker counts")
+	}
+}
+
+func TestRunCellsResultSource(t *testing.T) {
+	var executed int32
+	orig := runner
+	runner = func(s *Sweep, c Cell) Result {
+		atomic.AddInt32(&executed, 1)
+		return fakeRunner(s, c)
+	}
+	t.Cleanup(func() { runner = orig })
+
+	s := Sweep{Workloads: []string{"2_MIX"}, Jobs: 4}
+	cells, err := s.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A source that knows every other cell: only the misses may execute.
+	var hits int32
+	src := func(c Cell) (Result, bool) {
+		if c.Policy == config.ICount18 || c.Policy == config.ICount28 {
+			atomic.AddInt32(&hits, 1)
+			r := fakeRunner(&s, c)
+			r.IPFC = -1 // marker proving the source's result is used verbatim
+			return r, true
+		}
+		return Result{}, false
+	}
+	results, err := s.RunCells(cells, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(cells) {
+		t.Fatalf("%d results for %d cells", len(results), len(cells))
+	}
+	if int(hits)+int(executed) != len(cells) {
+		t.Fatalf("hits %d + executed %d != %d cells", hits, executed, len(cells))
+	}
+	if hits == 0 || executed == 0 {
+		t.Fatalf("expected a mix of source hits and executions, got hits=%d executed=%d", hits, executed)
+	}
+	for _, r := range results {
+		fromSource := r.IPFC == -1
+		if wantSource := r.Policy == "ICOUNT.1.8" || r.Policy == "ICOUNT.2.8"; fromSource != wantSource {
+			t.Fatalf("cell %s: fromSource=%v, want %v", r.Key(), fromSource, wantSource)
+		}
+	}
+
+	// A full source means zero executions, and Run (nil source) still
+	// executes everything.
+	executed = 0
+	if _, err := s.RunCells(cells, func(c Cell) (Result, bool) { return fakeRunner(&s, c), true }); err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 {
+		t.Fatalf("full source still executed %d cells", executed)
+	}
+}
+
+func TestPrepareMatchesCellsAndValidate(t *testing.T) {
+	s := Sweep{Workloads: []string{"2_MIX", "4_MIX"}}
+	cells, err := s.Prepare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := s.Cells()
+	if len(cells) != len(direct) {
+		t.Fatalf("Prepare returned %d cells, Cells %d", len(cells), len(direct))
+	}
+	for i := range cells {
+		if cells[i] != direct[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, cells[i], direct[i])
+		}
+	}
+	bad := Sweep{Workloads: []string{"9_NOPE"}}
+	if _, err := bad.Prepare(); err == nil {
+		t.Fatal("Prepare accepted an unknown workload")
 	}
 }
 

@@ -1,0 +1,238 @@
+// Package server turns the sweep harness into a long-running HTTP service:
+// it accepts sweep requests as JSON, expands and validates them with the
+// experiment machinery, executes cells on the bounded worker pool, and
+// memoizes every completed cell in a content-keyed result cache so a
+// repeated or overlapping grid is served without re-simulating.
+//
+// The cache key is the pair (sweep fingerprint, cell key). The cell key is
+// already content-derived (workload/engine/policy/seed) and the simulator
+// is deterministic, so two requests that agree on the fingerprint — the
+// phase lengths, machine configuration, and result schema — must produce
+// bit-identical results for a shared cell. That makes cache hits
+// indistinguishable from re-execution, byte for byte.
+package server
+
+import (
+	"container/list"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"smtfetch/internal/config"
+	"smtfetch/internal/experiment"
+)
+
+// Fingerprint hashes everything besides the cell identity that determines
+// a cell's result: the simulation phase lengths, the machine configuration
+// (with the engine/policy fields zeroed — the cell key carries those), and
+// the result schema version. Sweeps with equal fingerprints may share
+// cached cells.
+func Fingerprint(s *experiment.Sweep) string {
+	mc := config.Default()
+	if s.Machine != nil {
+		mc = *s.Machine
+	}
+	// Engine and policy vary per cell and are overwritten by the runner;
+	// canonicalize them out so they cannot split the cache.
+	mc.Engine = 0
+	mc.FetchPolicy = config.FetchPolicy{}
+	blob, err := json.Marshal(struct {
+		ResultSchema  int
+		WarmupInstrs  uint64
+		WarmupCycles  uint64
+		MeasureInstrs uint64
+		MaxCycles     uint64
+		Machine       config.Config
+	}{experiment.SchemaVersion, s.WarmupInstrs, s.WarmupCycles, s.MeasureInstrs, s.MaxCycles, mc})
+	if err != nil {
+		// config.Config is a plain struct of scalars; this cannot fail.
+		panic(fmt.Sprintf("server: fingerprint marshal: %v", err))
+	}
+	h := fnv.New64a()
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheKey is the full content key of one cached cell.
+func CacheKey(fingerprint string, c experiment.Cell) string {
+	return fingerprint + "/" + c.Key()
+}
+
+// CacheStats is the counter snapshot served by GET /cache/stats.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Stores    uint64 `json:"stores"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Cache is a bounded LRU over completed sweep cells, keyed by
+// CacheKey(fingerprint, cell). It is safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	byKey     map[string]*list.Element
+	hits      uint64
+	misses    uint64
+	stores    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res experiment.Result
+}
+
+// NewCache returns an empty cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    map[string]*list.Element{},
+	}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (experiment.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return experiment.Result{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores a result under key, evicting the least recently used entry
+// when full. Storing an existing key refreshes its value and recency.
+func (c *Cache) Put(key string, r experiment.Result) {
+	c.put(key, r, true)
+}
+
+func (c *Cache) put(key string, r experiment.Result, countStore bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if countStore {
+		c.stores++
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = r
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, res: r})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Stores:    c.stores,
+		Evictions: c.evictions,
+	}
+}
+
+// CacheSchemaVersion versions the on-disk cache snapshot. The entries
+// themselves reuse the experiment.Result schema that WriteJSON emits, so a
+// result round-trips the disk byte-identically.
+const CacheSchemaVersion = 1
+
+// cacheFile is the persistence envelope: one entry per cached cell, in
+// LRU order (least recently used first) so a reload reconstructs recency.
+type cacheFile struct {
+	SchemaVersion int              `json:"schema_version"`
+	Entries       []persistedEntry `json:"entries"`
+}
+
+type persistedEntry struct {
+	Fingerprint string            `json:"fingerprint"`
+	Result      experiment.Result `json:"result"`
+}
+
+// SaveFile atomically writes the cache contents to path (tmp + rename).
+func (c *Cache) SaveFile(path string) error {
+	c.mu.Lock()
+	f := cacheFile{SchemaVersion: CacheSchemaVersion}
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		// The key suffix is reconstructible from the result; only the
+		// fingerprint prefix needs storing.
+		fp := e.key[:len(e.key)-len(e.res.Key())-1]
+		f.Entries = append(f.Entries, persistedEntry{Fingerprint: fp, Result: e.res})
+	}
+	c.mu.Unlock()
+
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("server: marshal cache: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(append(blob, '\n')); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile merges a snapshot written by SaveFile into the cache, returning
+// the number of entries loaded. A missing file is not an error (0, nil):
+// a fresh server simply starts cold.
+func (c *Cache) LoadFile(path string) (int, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var f cacheFile
+	if err := json.Unmarshal(blob, &f); err != nil {
+		return 0, fmt.Errorf("server: bad cache file %s: %w", path, err)
+	}
+	if f.SchemaVersion != CacheSchemaVersion {
+		return 0, fmt.Errorf("server: cache file %s has schema version %d, want %d", path, f.SchemaVersion, CacheSchemaVersion)
+	}
+	for _, e := range f.Entries {
+		// Loads do not count as stores: stats reflect live traffic only.
+		c.put(e.Fingerprint+"/"+e.Result.Key(), e.Result, false)
+	}
+	return len(f.Entries), nil
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smtfetch/internal/experiment"
+)
+
+func cacheRes(workload string, seed uint64, ipc float64) experiment.Result {
+	return experiment.Result{
+		Workload: workload, Engine: "stream", Policy: "ICOUNT.1.8", Seed: seed, IPC: ipc,
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	a, b, d := cacheRes("A", 1, 1.0), cacheRes("B", 1, 2.0), cacheRes("D", 1, 3.0)
+	c.Put("fp/"+a.Key(), a)
+	c.Put("fp/"+b.Key(), b)
+	// Touch A so B is the LRU entry when D evicts.
+	if _, ok := c.Get("fp/" + a.Key()); !ok {
+		t.Fatal("A missing before eviction")
+	}
+	c.Put("fp/"+d.Key(), d)
+	if _, ok := c.Get("fp/" + b.Key()); ok {
+		t.Fatal("LRU entry B survived eviction")
+	}
+	if _, ok := c.Get("fp/" + a.Key()); !ok {
+		t.Fatal("recently used A was evicted")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Stores != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	c := NewCache(8)
+	r := cacheRes("A", 1, 1.0)
+	if _, ok := c.Get("fp/" + r.Key()); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("fp/"+r.Key(), r)
+	if _, ok := c.Get("fp/" + r.Key()); !ok {
+		t.Fatal("miss after store")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCachePersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c := NewCache(8)
+	a, b := cacheRes("A", 1, 1.5), cacheRes("B", 2, 2.5)
+	c.Put("fpa/"+a.Key(), a)
+	c.Put("fpb/"+b.Key(), b)
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := NewCache(8)
+	n, err := loaded.LoadFile(path)
+	if err != nil || n != 2 {
+		t.Fatalf("LoadFile = %d, %v", n, err)
+	}
+	got, ok := loaded.Get("fpa/" + a.Key())
+	if !ok || got != a {
+		t.Fatalf("A after reload = %+v, %v", got, ok)
+	}
+	if _, ok := loaded.Get("fpb/" + b.Key()); !ok {
+		t.Fatal("B missing after reload")
+	}
+	// Loads are not live traffic: only the two Gets above may count.
+	st := loaded.Stats()
+	if st.Stores != 0 || st.Hits != 2 {
+		t.Fatalf("stats after reload = %+v", st)
+	}
+}
+
+func TestCacheLoadPreservesRecency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c := NewCache(8)
+	a, b := cacheRes("A", 1, 1.0), cacheRes("B", 1, 2.0)
+	c.Put("fp/"+a.Key(), a) // older
+	c.Put("fp/"+b.Key(), b) // newer
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Reload into a capacity-2 cache and add a third entry: the entry
+	// that was LRU at save time (A) must be the one evicted.
+	loaded := NewCache(2)
+	if _, err := loaded.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	d := cacheRes("D", 1, 3.0)
+	loaded.Put("fp/"+d.Key(), d)
+	if _, ok := loaded.Get("fp/" + a.Key()); ok {
+		t.Fatal("saved-as-LRU entry A survived eviction after reload")
+	}
+	if _, ok := loaded.Get("fp/" + b.Key()); !ok {
+		t.Fatal("saved-as-MRU entry B was evicted after reload")
+	}
+}
+
+func TestCacheLoadMissingFile(t *testing.T) {
+	c := NewCache(2)
+	n, err := c.LoadFile(filepath.Join(t.TempDir(), "absent.json"))
+	if n != 0 || err != nil {
+		t.Fatalf("missing file: %d, %v", n, err)
+	}
+}
+
+func TestCacheLoadRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	writeFile(t, path, `{"schema_version": 999, "entries": []}`)
+	if _, err := NewCache(2).LoadFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("bad schema accepted: %v", err)
+	}
+}
+
+func TestFingerprintSeparatesPhaseLengths(t *testing.T) {
+	base := &experiment.Sweep{Workloads: []string{"2_MIX"}}
+	longer := &experiment.Sweep{Workloads: []string{"2_MIX"}, MeasureInstrs: 123}
+	if Fingerprint(base) == Fingerprint(longer) {
+		t.Fatal("different phase lengths share a fingerprint")
+	}
+	// The axes themselves don't split the cache: a sub-grid of the same
+	// configuration must share cached cells with the full grid.
+	subgrid := &experiment.Sweep{Workloads: []string{"2_MIX", "4_MIX"}}
+	if Fingerprint(base) != Fingerprint(subgrid) {
+		t.Fatal("axis-only difference split the fingerprint")
+	}
+}

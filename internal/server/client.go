@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client drives a running sweep server. It hides the sync/async split:
+// Sweep returns the results document either way, polling job status for
+// grids the server chose to run asynchronously.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval is the job-status polling period (0 = 500ms).
+	PollInterval time.Duration
+	// OnProgress, when non-nil, is called after each poll of an async
+	// job with the server-reported per-cell progress.
+	OnProgress func(done, total int)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.BaseURL, "/") + path
+}
+
+// get fetches path, requiring status 200.
+func (c *Client) get(path string) ([]byte, error) {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// Sweep posts the request and returns the results-document bytes (the
+// same schema `smtfetch sweep` writes). A 202 answer is followed by
+// polling GET /jobs/{id} until the job completes.
+func (c *Client) Sweep(req SweepRequest) ([]byte, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Post(c.url("/sweep"), "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body, nil
+	case http.StatusAccepted:
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, fmt.Errorf("server: bad job status: %w", err)
+		}
+		return c.wait(st.ID)
+	default:
+		return nil, fmt.Errorf("server: POST /sweep: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+}
+
+// wait polls a job until it leaves the running state, then fetches its
+// results document.
+func (c *Client) wait(id string) ([]byte, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	for {
+		body, err := c.get("/jobs/" + id)
+		if err != nil {
+			return nil, err
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return nil, fmt.Errorf("server: bad job status: %w", err)
+		}
+		if c.OnProgress != nil {
+			c.OnProgress(st.Done, st.Total)
+		}
+		switch st.State {
+		case JobDone:
+			return c.get("/jobs/" + id + "/results")
+		case JobFailed:
+			return nil, fmt.Errorf("server: job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(interval)
+	}
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Job states, as reported by GET /jobs/{id}.
+const (
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the JSON body of GET /jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Done / Total track per-cell progress (cache hits count as done).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Error is set when the job failed outright (the grid never ran) —
+	// per-cell failures stay inside the results' error fields instead.
+	Error string `json:"error,omitempty"`
+	// ResultsURL serves the results document once the job is done.
+	ResultsURL string `json:"results_url,omitempty"`
+}
+
+// job is one asynchronous sweep execution.
+type job struct {
+	id string
+
+	mu      sync.Mutex
+	state   string
+	done    int
+	total   int
+	err     string
+	results []byte // WriteJSON bytes, set when state == JobDone
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total, Error: j.err}
+	if j.state == JobDone {
+		st.ResultsURL = "/jobs/" + j.id + "/results"
+	}
+	return st
+}
+
+func (j *job) progress(done int) {
+	j.mu.Lock()
+	j.done = done
+	j.mu.Unlock()
+}
+
+func (j *job) finish(results []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil && results == nil {
+		j.state = JobFailed
+		j.err = err.Error()
+		return
+	}
+	// Per-cell errors travel inside the results document, matching the
+	// CLI: the job itself completed.
+	j.state = JobDone
+	j.results = results
+	j.done = j.total
+}
+
+func (j *job) resultBytes() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.results, j.state == JobDone
+}
+
+// jobRegistry tracks asynchronous sweeps. Completed jobs are retained up
+// to a bound so poll results stay available for a while without growing
+// without limit; running jobs are never evicted.
+type jobRegistry struct {
+	mu       sync.Mutex
+	seq      int
+	byID     map[string]*job
+	finished []string // completed job IDs in completion order
+	maxDone  int
+}
+
+func newJobRegistry(maxDone int) *jobRegistry {
+	if maxDone < 1 {
+		maxDone = 1
+	}
+	return &jobRegistry{byID: map[string]*job{}, maxDone: maxDone}
+}
+
+func (r *jobRegistry) create(total int) *job {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j := &job{id: fmt.Sprintf("job-%d", r.seq), state: JobRunning, total: total}
+	r.byID[j.id] = j
+	return j
+}
+
+func (r *jobRegistry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.byID[id]
+	return j, ok
+}
+
+// complete records that a job left the running state and evicts the
+// oldest finished jobs beyond the retention bound.
+func (r *jobRegistry) complete(j *job) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.finished = append(r.finished, j.id)
+	for len(r.finished) > r.maxDone {
+		delete(r.byID, r.finished[0])
+		r.finished = r.finished[1:]
+	}
+}

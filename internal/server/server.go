@@ -1,0 +1,347 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"smtfetch/internal/config"
+	"smtfetch/internal/experiment"
+)
+
+// SweepRequest is the JSON body of POST /sweep. Axis fields carry the
+// same spellings as the CLI flags (engine and POLICY.T.W names); empty
+// axes take the same paper defaults as the CLI. Phase lengths of zero
+// take the smtfetch defaults, and are part of the cache fingerprint.
+type SweepRequest struct {
+	Engines   []string `json:"engines,omitempty"`
+	Policies  []string `json:"policies,omitempty"`
+	Workloads []string `json:"workloads,omitempty"`
+	Seeds     []uint64 `json:"seeds,omitempty"`
+
+	WarmupInstrs  uint64 `json:"warmup_instrs,omitempty"`
+	WarmupCycles  uint64 `json:"warmup_cycles,omitempty"`
+	MeasureInstrs uint64 `json:"measure_instrs,omitempty"`
+	MaxCycles     uint64 `json:"max_cycles,omitempty"`
+
+	// Async forces job mode even for grids under the sync cell limit.
+	Async bool `json:"async,omitempty"`
+}
+
+// Sweep converts the request into an experiment grid, resolving the
+// engine and policy spellings. The server's worker-pool bound is applied
+// by the caller, not the request: clients don't control server load.
+func (r SweepRequest) Sweep() (*experiment.Sweep, error) {
+	sw := &experiment.Sweep{
+		Workloads:     r.Workloads,
+		Seeds:         r.Seeds,
+		WarmupInstrs:  r.WarmupInstrs,
+		WarmupCycles:  r.WarmupCycles,
+		MeasureInstrs: r.MeasureInstrs,
+		MaxCycles:     r.MaxCycles,
+	}
+	for _, s := range r.Engines {
+		e, err := config.ParseEngine(s)
+		if err != nil {
+			return nil, err
+		}
+		sw.Engines = append(sw.Engines, e)
+	}
+	for _, s := range r.Policies {
+		p, err := config.ParseFetchPolicy(s)
+		if err != nil {
+			return nil, err
+		}
+		sw.Policies = append(sw.Policies, p)
+	}
+	return sw, nil
+}
+
+// Config configures a Server. The zero value is usable: a 4096-entry
+// cache, no persistence, grids up to 16 cells served synchronously.
+type Config struct {
+	// CacheSize bounds the result cache in entries (<= 0 = 4096).
+	CacheSize int
+	// CacheFile, when non-empty, is loaded at New and written by
+	// SaveCache, so restarts keep warm results.
+	CacheFile string
+	// SyncCellLimit is the largest grid POST /sweep answers in-request;
+	// bigger grids get a job ID and polling (< 0 = everything async,
+	// 0 = default 16).
+	SyncCellLimit int
+	// Jobs bounds each sweep's worker pool; <= 0 means NumCPU.
+	Jobs int
+	// MaxFinishedJobs bounds how many completed jobs stay pollable
+	// (<= 0 = 32). Running jobs are never evicted.
+	MaxFinishedJobs int
+}
+
+// Server is the sweep service: an http.Handler exposing
+//
+//	POST /sweep          run a grid (sync body or 202 + job ID)
+//	GET  /jobs/{id}          poll an async sweep
+//	GET  /jobs/{id}/results  fetch its results document
+//	GET  /results/{key}      fetch one cached cell by content key
+//	GET  /cache/stats        cache counter snapshot
+//	GET  /healthz            liveness probe
+//
+// All sweep execution funnels through the cache: a cell whose content
+// key is present is served without simulating, and because the simulator
+// is deterministic the response is byte-identical either way.
+type Server struct {
+	cache     *Cache
+	cacheFile string
+	jobs      *jobRegistry
+	syncLimit int
+	poolJobs  int
+	mux       *http.ServeMux
+
+	// jobsWG tracks running async sweep goroutines so a graceful
+	// shutdown can drain them (WaitJobs) before persisting the cache.
+	jobsWG sync.WaitGroup
+
+	// flight dedupes concurrent executions of the same cell across
+	// requests: two overlapping grids that miss on a shared cell must
+	// simulate it once, not twice.
+	flight struct {
+		mu sync.Mutex
+		m  map[string]chan struct{}
+	}
+}
+
+// New builds a Server, loading the cache file when one is configured.
+func New(cfg Config) (*Server, error) {
+	size := cfg.CacheSize
+	if size <= 0 {
+		size = 4096
+	}
+	syncLimit := cfg.SyncCellLimit
+	if syncLimit == 0 {
+		syncLimit = 16
+	}
+	maxDone := cfg.MaxFinishedJobs
+	if maxDone <= 0 {
+		maxDone = 32
+	}
+	s := &Server{
+		cache:     NewCache(size),
+		cacheFile: cfg.CacheFile,
+		jobs:      newJobRegistry(maxDone),
+		syncLimit: syncLimit,
+		poolJobs:  cfg.Jobs,
+	}
+	s.flight.m = map[string]chan struct{}{}
+	if cfg.CacheFile != "" {
+		if _, err := s.cache.LoadFile(cfg.CacheFile); err != nil {
+			return nil, err
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/jobs/", s.handleJobs)
+	s.mux.HandleFunc("/results/", s.handleResult)
+	s.mux.HandleFunc("/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// WaitJobs blocks until every running async sweep has finished. A
+// graceful shutdown calls it after the HTTP listener closes and before
+// SaveCache, so in-flight jobs complete and their cells persist instead
+// of being killed mid-grid.
+func (s *Server) WaitJobs() {
+	s.jobsWG.Wait()
+}
+
+// SaveCache persists the cache to the configured file; a no-op without one.
+func (s *Server) SaveCache() error {
+	if s.cacheFile == "" {
+		return nil
+	}
+	return s.cache.SaveFile(s.cacheFile)
+}
+
+// CacheStats snapshots the result-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// httpError sends a plain-text error. Validation and parse failures are
+// the caller's fault (400); everything else that can fail here is a
+// lookup miss (404) or a method mismatch (405).
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func writeJSONBody(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST /sweep only")
+		return
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req SweepRequest
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	sw, err := req.Sweep()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep request: %v", err)
+		return
+	}
+	sw.Jobs = s.poolJobs
+	cells, err := sw.Prepare()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid sweep: %v", err)
+		return
+	}
+	fp := Fingerprint(sw)
+
+	if !req.Async && s.syncLimit > 0 && len(cells) <= s.syncLimit {
+		blob, err := s.runSweep(sw, cells, fp)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "sweep failed: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(blob)
+		return
+	}
+
+	j := s.jobs.create(len(cells))
+	sw.OnResult = func(done, total int, _ experiment.Result) { j.progress(done) }
+	s.jobsWG.Add(1)
+	go func() {
+		defer s.jobsWG.Done()
+		blob, err := s.runSweep(sw, cells, fp)
+		j.finish(blob, err)
+		s.jobs.complete(j)
+	}()
+	writeJSONBody(w, http.StatusAccepted, j.status())
+}
+
+// runSweep executes cells through the cache: hits are served without
+// simulating, misses execute on the sweep's worker pool and are stored
+// (error cells excepted, so transient failures retry on the next
+// request). Per-cell failures stay inside the results document — the
+// sweep itself succeeded, matching CLI semantics where a partially
+// failed grid still writes its results file.
+func (s *Server) runSweep(sw *experiment.Sweep, cells []experiment.Cell, fp string) ([]byte, error) {
+	src := func(c experiment.Cell) (experiment.Result, bool) {
+		return s.resolveKey(CacheKey(fp, c), func() experiment.Result {
+			return sw.ExecuteCell(c)
+		}), true
+	}
+	results, _ := sw.RunCells(cells, src)
+	return experiment.MarshalJSONResults(results)
+}
+
+// resolveKey answers one content key from the cache, executing exec on a
+// miss. Concurrent misses on the same key are single-flighted: one
+// caller executes, the rest wait and read its cached result — two
+// overlapping grids posted at the same time simulate each shared cell
+// once. If the leader's execution errors (nothing gets cached), each
+// waiter retries, so transient failures don't fan out to every waiter.
+func (s *Server) resolveKey(key string, exec func() experiment.Result) experiment.Result {
+	for {
+		if res, ok := s.cache.Get(key); ok {
+			return res
+		}
+		s.flight.mu.Lock()
+		ch, running := s.flight.m[key]
+		if !running {
+			ch = make(chan struct{})
+			s.flight.m[key] = ch
+		}
+		s.flight.mu.Unlock()
+		if running {
+			<-ch
+			continue
+		}
+		res := exec()
+		s.storeResult(key, res)
+		s.flight.mu.Lock()
+		delete(s.flight.m, key)
+		s.flight.mu.Unlock()
+		close(ch)
+		return res
+	}
+}
+
+// storeResult caches a completed cell. Error cells are never stored: an
+// error's IPC 0 is a failure marker, not a value, and caching it would
+// pin a transient failure until eviction instead of retrying it on the
+// next request.
+func (s *Server) storeResult(key string, res experiment.Result) {
+	if res.Error != "" {
+		return
+	}
+	s.cache.Put(key, res)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, wantResults := rest, false
+	if sub, ok := strings.CutSuffix(rest, "/results"); ok {
+		id, wantResults = sub, true
+	}
+	j, ok := s.jobs.get(id)
+	if !ok || id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if !wantResults {
+		writeJSONBody(w, http.StatusOK, j.status())
+		return
+	}
+	blob, done := j.resultBytes()
+	if !done {
+		httpError(w, http.StatusConflict, "job %s is %s, results not available", id, j.status().State)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/results/")
+	res, ok := s.cache.Get(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cached result for key %q", key)
+		return
+	}
+	writeJSONBody(w, http.StatusOK, res)
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSONBody(w, http.StatusOK, s.cache.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSONBody(w, http.StatusOK, map[string]string{"status": "ok"})
+}
