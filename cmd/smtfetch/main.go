@@ -19,6 +19,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -53,6 +54,8 @@ func main() {
 		err = cmdList(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "aggregate":
+		err = cmdAggregate(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "help", "-h", "--help":
@@ -76,13 +79,16 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: smtfetch <command> [flags]
 
 commands:
-  run      simulate a single cell and print its result
-  sweep    run an engine x policy x workload x seed grid in parallel
-           (or dispatch it to a sweep server with -server URL)
-  serve    long-running HTTP sweep service with a content-keyed result cache
-  list     print the available engines, policies, workloads, benchmarks
-  compare  diff two sweep results files and flag IPC regressions
-  bench    measure simulator throughput on a fixed grid (perf trajectory)
+  run        simulate a single cell and print its result
+  sweep      run an engine x policy x workload x seed grid in parallel
+             (or dispatch it to a sweep server with -server URL)
+  serve      long-running HTTP sweep service with a content-keyed result cache
+  list       print the available engines, policies, workloads, benchmarks
+  compare    diff two sweep results files and flag IPC regressions
+             (multi-seed cell-groups gate on 95% CI overlap)
+  aggregate  reduce a sweep results file across its seed axis to
+             per-group mean/stddev/95% CI statistics
+  bench      measure simulator throughput on a fixed grid (perf trajectory)
 
 run 'smtfetch <command> -h' for command flags.
 `)
@@ -184,6 +190,54 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// maxSeedShorthand bounds the `-seeds N` expansion: past this, an
+// accidental bare number (say a seed value pasted without commas) would
+// silently multiply the grid by orders of magnitude.
+const maxSeedShorthand = 4096
+
+// parseSeedsFlag parses the -seeds axis. A bare integer N is the
+// replication shorthand, expanding to seeds 1..N; a comma-separated list
+// names explicit seeds (use a trailing comma, e.g. "7,", to force list
+// interpretation of a single seed). Duplicate seeds are rejected here, at
+// flag-parse time, so `sweep -seeds 1,1` fails naming the flag instead of
+// dying cell-by-cell later in grid validation.
+func parseSeedsFlag(raw string) ([]uint64, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	if !strings.Contains(raw, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(raw), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: bad seed count %q: %w", raw, err)
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("-seeds: replication count must be at least 1")
+		}
+		if n > maxSeedShorthand {
+			return nil, fmt.Errorf("-seeds: %d expands to seeds 1..%d (max %d); pass an explicit comma-separated list for larger grids", n, n, maxSeedShorthand)
+		}
+		seeds := make([]uint64, n)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+		return seeds, nil
+	}
+	seen := make(map[uint64]bool)
+	var seeds []uint64
+	for _, s := range splitList(raw) {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: bad seed %q: %w", s, err)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("-seeds: duplicate seed %d", v)
+		}
+		seen[v] = true
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
 // sweepSpec is a parsed `sweep` invocation: the grid plus where to run
 // it (locally, or on a sweep server) and where the output goes.
 type sweepSpec struct {
@@ -191,6 +245,7 @@ type sweepSpec struct {
 	request server.SweepRequest // the same grid, as a server request
 	server  string              // non-empty: POST to this base URL instead of running locally
 	out     string
+	aggOut  string // non-empty: write the seed-axis aggregate JSON here
 	table   bool
 	quiet   bool
 }
@@ -201,10 +256,11 @@ func parseSweepFlags(args []string) (*sweepSpec, error) {
 	policies := fs.String("policies", "", "comma-separated POLICY.T.W policies (default: the paper's four ICOUNT ones)")
 	workloads := fs.String("workloads", "", "comma-separated workloads (default: all of Table 2); -workload is an alias")
 	fs.String("workload", "", "alias for -workloads")
-	seeds := fs.String("seeds", "", "comma-separated replication seeds (default: 1)")
+	seeds := fs.String("seeds", "", "replications: N = seeds 1..N, or an explicit comma-separated seed list (default: 1)")
 	jobs := fs.Int("jobs", 0, "parallel workers (0 = NumCPU; ignored with -server)")
 	srvURL := fs.String("server", "", "dispatch the sweep to this `smtfetch serve` base URL instead of running locally")
 	out := fs.String("o", "", "write results JSON to this file ('-' or empty = stdout)")
+	aggOut := fs.String("agg-o", "", "write the per-group aggregate JSON (mean/stddev/95% CI across seeds) to this file")
 	table := fs.Bool("table", true, "print the aligned result table to stderr")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	warmup, warmupCycles, measure, maxCycles := simFlags(fs)
@@ -215,6 +271,7 @@ func parseSweepFlags(args []string) (*sweepSpec, error) {
 	spec := &sweepSpec{
 		server: *srvURL,
 		out:    *out,
+		aggOut: *aggOut,
 		table:  *table,
 		quiet:  *quiet,
 		sweep: experiment.Sweep{
@@ -243,13 +300,11 @@ func parseSweepFlags(args []string) (*sweepSpec, error) {
 		spec.sweep.Policies = append(spec.sweep.Policies, p)
 	}
 	spec.sweep.Workloads = splitList(*workloads)
-	for _, s := range splitList(*seeds) {
-		v, err := strconv.ParseUint(s, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad seed %q: %w", s, err)
-		}
-		spec.sweep.Seeds = append(spec.sweep.Seeds, v)
+	seedList, err := parseSeedsFlag(*seeds)
+	if err != nil {
+		return nil, err
 	}
+	spec.sweep.Seeds = seedList
 	spec.request = server.SweepRequest{
 		Engines:       splitList(*engines),
 		Policies:      splitList(*policies),
@@ -286,8 +341,8 @@ func runSweepLocal(spec *sweepSpec) error {
 		}
 	}
 
-	// Prepare (expand + validate, once) before touching the output file,
-	// then open it before running: a typo'd workload must not truncate an
+	// Prepare (expand + validate, once) before touching the output files,
+	// then open them before running: a typo'd workload must not truncate an
 	// existing baseline, and an unwritable path must fail in milliseconds,
 	// not after a multi-hour grid.
 	cells, err := sw.Prepare()
@@ -303,9 +358,24 @@ func runSweepLocal(spec *sweepSpec) error {
 		defer f.Close()
 		w = f
 	}
+	aw, err := openAggOut(spec)
+	if err != nil {
+		return err
+	}
+	if aw != nil {
+		defer aw.Close()
+	}
 
 	results, runErr := sw.RunCells(cells, nil)
-	return writeSweepOutput(w, spec, results, runErr)
+	return writeSweepOutput(w, aw, spec, results, runErr)
+}
+
+// openAggOut opens the -agg-o file fail-fast; nil when the flag is unset.
+func openAggOut(spec *sweepSpec) (*os.File, error) {
+	if spec.aggOut == "" {
+		return nil, nil
+	}
+	return os.Create(spec.aggOut)
 }
 
 func runSweepRemote(spec *sweepSpec) error {
@@ -337,6 +407,13 @@ func runSweepRemote(spec *sweepSpec) error {
 		defer f.Close()
 		w = f
 	}
+	aw, err := openAggOut(spec)
+	if err != nil {
+		return err
+	}
+	if aw != nil {
+		defer aw.Close()
+	}
 
 	blob, err := c.Sweep(spec.request)
 	if err != nil {
@@ -363,24 +440,41 @@ func runSweepRemote(spec *sweepSpec) error {
 	if _, err := w.Write(blob); err != nil {
 		return err
 	}
-	return reportSweepOutcome(w, spec, results, runErr)
+	return reportSweepOutcome(w, aw, spec, results, runErr)
 }
 
-// writeSweepOutput renders the table, writes the results document, and
+// writeSweepOutput renders the tables, writes the results document, and
 // qualifies the success message when cells failed.
-func writeSweepOutput(w *os.File, spec *sweepSpec, results []experiment.Result, runErr error) error {
+func writeSweepOutput(w, aw *os.File, spec *sweepSpec, results []experiment.Result, runErr error) error {
 	if results == nil {
 		return runErr
 	}
 	if err := experiment.WriteJSON(w, results); err != nil {
 		return err
 	}
-	return reportSweepOutcome(w, spec, results, runErr)
+	return reportSweepOutcome(w, aw, spec, results, runErr)
 }
 
-func reportSweepOutcome(w *os.File, spec *sweepSpec, results []experiment.Result, runErr error) error {
+// reportSweepOutcome renders the per-cell table (plus the seed-axis
+// aggregate table when the grid carries replications), writes the
+// aggregate JSON when -agg-o was given, and qualifies the success message
+// when cells failed. Aggregation is always client-side, over the merged
+// result set — the sweep server knows nothing about seeds beyond the
+// per-cell cache key, so cached and fresh cells aggregate identically.
+func reportSweepOutcome(w, aw *os.File, spec *sweepSpec, results []experiment.Result, runErr error) error {
+	groups := experiment.Aggregate(results)
+	multiSeed := len(groups) > 0 && len(groups) < len(results)
 	if spec.table {
 		fmt.Fprint(os.Stderr, experiment.Table(results))
+		if multiSeed {
+			fmt.Fprint(os.Stderr, experiment.AggregateTable(groups))
+		}
+	}
+	if aw != nil {
+		if err := experiment.WriteAggregateJSON(aw, groups); err != nil {
+			return errors.Join(err, runErr)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d aggregate groups to %s\n", len(groups), spec.aggOut)
 	}
 	if w != os.Stdout {
 		failed := 0
@@ -527,6 +621,58 @@ func cmdCompare(args []string) error {
 	}
 	fmt.Print(rep)
 	return rep.Err()
+}
+
+// parseAggregateArgs accepts both "aggregate results.json -o agg.json"
+// and "aggregate -o agg.json results.json".
+func parseAggregateArgs(args []string) (path, out string, table bool, err error) {
+	fs := flag.NewFlagSet("aggregate", flag.ContinueOnError)
+	outFlag := fs.String("o", "", "write aggregate JSON to this file ('-' or empty = stdout)")
+	tableFlag := fs.Bool("table", true, "print the aligned aggregate table to stderr")
+	var paths []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		paths = append(paths, args[0])
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return "", "", false, err
+	}
+	paths = append(paths, fs.Args()...)
+	if len(paths) != 1 {
+		return "", "", false, fmt.Errorf("aggregate needs exactly one results file, got %d", len(paths))
+	}
+	return paths[0], *outFlag, *tableFlag, nil
+}
+
+func cmdAggregate(args []string) error {
+	path, out, table, err := parseAggregateArgs(args)
+	if err != nil {
+		return err
+	}
+	rs, err := experiment.ReadJSONFile(path)
+	if err != nil {
+		return err
+	}
+	groups := experiment.Aggregate(rs)
+	if table {
+		fmt.Fprint(os.Stderr, experiment.AggregateTable(groups))
+	}
+	w := os.Stdout
+	if out != "" && out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := experiment.WriteAggregateJSON(w, groups); err != nil {
+		return err
+	}
+	if w != os.Stdout {
+		fmt.Fprintf(os.Stderr, "wrote %d aggregate groups to %s\n", len(groups), out)
+	}
+	return nil
 }
 
 func cmdBench(args []string) error {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"smtfetch/internal/experiment"
 	"smtfetch/internal/server"
 )
 
@@ -80,6 +81,81 @@ func TestParseSweepFlagsErrors(t *testing.T) {
 	}
 	if _, err := parseSweepFlags([]string{"-engines", "quantum"}); err == nil {
 		t.Fatal("bad engine accepted")
+	}
+}
+
+func TestParseSeedsFlag(t *testing.T) {
+	for _, tc := range []struct {
+		raw  string
+		want []uint64
+		err  string
+	}{
+		{raw: "", want: nil},
+		// A bare integer is a replication count: seeds 1..N.
+		{raw: "1", want: []uint64{1}},
+		{raw: "3", want: []uint64{1, 2, 3}},
+		// A comma anywhere makes it an explicit seed list; a trailing
+		// comma is the escape hatch for a single explicit seed.
+		{raw: "1,2,10", want: []uint64{1, 2, 10}},
+		{raw: "7,", want: []uint64{7}},
+		{raw: "0", err: "at least 1"},
+		{raw: "banana", err: "bad seed"},
+		{raw: "1,banana", err: "bad seed"},
+		{raw: "1,1", err: "duplicate seed 1"},
+		{raw: "1,2,3,2", err: "duplicate seed 2"},
+		{raw: "5000", err: "explicit comma-separated list"},
+	} {
+		got, err := parseSeedsFlag(tc.raw)
+		if tc.err != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Errorf("parseSeedsFlag(%q) err = %v, want substring %q", tc.raw, err, tc.err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSeedsFlag(%q): %v", tc.raw, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("parseSeedsFlag(%q) = %v, want %v", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestParseSweepFlagsSeedShorthand(t *testing.T) {
+	spec, err := parseSweepFlags([]string{"-workloads", "2_MIX", "-seeds", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec.sweep.Seeds, []uint64{1, 2, 3}) {
+		t.Fatalf("Seeds = %v", spec.sweep.Seeds)
+	}
+	// Duplicates die at flag parse time, naming the flag — not deep in
+	// Prepare after the user already waited on validation.
+	if _, err := parseSweepFlags([]string{"-seeds", "1,1"}); err == nil ||
+		!strings.Contains(err.Error(), "-seeds: duplicate seed 1") {
+		t.Fatalf("duplicate seeds: %v", err)
+	}
+}
+
+func TestParseAggregateArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"results.json", "-o", "agg.json"},
+		{"-o", "agg.json", "results.json"},
+	} {
+		path, out, table, err := parseAggregateArgs(args)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if path != "results.json" || out != "agg.json" || !table {
+			t.Fatalf("%v -> path %q out %q table %v", args, path, out, table)
+		}
+	}
+	if _, _, _, err := parseAggregateArgs(nil); err == nil {
+		t.Fatal("no path accepted")
+	}
+	if _, _, _, err := parseAggregateArgs([]string{"a.json", "b.json"}); err == nil {
+		t.Fatal("two paths accepted")
 	}
 }
 
@@ -186,5 +262,52 @@ func TestSweepServerDispatchMatchesLocal(t *testing.T) {
 	}
 	if after := srv.CacheStats(); after != before {
 		t.Fatalf("failed dispatches reached the server: %+v -> %+v", before, after)
+	}
+}
+
+// Multi-seed end-to-end: `sweep -seeds 3 -agg-o` writes an aggregate file,
+// and the standalone `aggregate` subcommand reproduces it byte-for-byte
+// from the per-cell results — both are the same client-side Aggregate.
+func TestSweepAggregateOutput(t *testing.T) {
+	dir := t.TempDir()
+	resOut := filepath.Join(dir, "results.json")
+	aggOut := filepath.Join(dir, "agg.json")
+	if err := cmdSweep([]string{
+		"-workloads", "2_MIX", "-engines", "stream", "-policies", "ICOUNT.1.8",
+		"-seeds", "3", "-warmup", "2000", "-measure", "5000",
+		"-q", "-table=false", "-o", resOut, "-agg-o", aggOut,
+	}); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+
+	groups, err := experiment.ReadAggregateJSONFile(aggOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if g.IPC.N != 3 || !reflect.DeepEqual(g.Seeds, []uint64{1, 2, 3}) {
+		t.Fatalf("group = %+v", g)
+	}
+	if g.IPC.Mean <= 0 || g.IPC.CILow > g.IPC.Mean || g.IPC.CIHigh < g.IPC.Mean {
+		t.Fatalf("inconsistent IPC summary: %+v", g.IPC)
+	}
+
+	replay := filepath.Join(dir, "replay.json")
+	if err := cmdAggregate([]string{resOut, "-table=false", "-o", replay}); err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	a, err := os.ReadFile(aggOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("aggregate subcommand diverges from sweep -agg-o:\n%s\nvs\n%s", a, b)
 	}
 }

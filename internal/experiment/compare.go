@@ -33,9 +33,33 @@ type Delta struct {
 	Errored bool `json:"errored,omitempty"`
 }
 
+// GroupDelta is the comparison of one CI-gated cell-group — a (workload,
+// engine, policy) configuration with at least two ok replications on each
+// side. The seed axis is the replication axis, so the two sides need not
+// share seed sets or sample sizes; the means and their 95% confidence
+// intervals are what get compared.
+type GroupDelta struct {
+	// Key is the group identity: workload/engine/policy, no seed.
+	Key string `json:"key"`
+
+	OldIPC Summary `json:"old_ipc"`
+	NewIPC Summary `json:"new_ipc"`
+
+	// RelChange is the mean-to-mean relative change, (newMean-oldMean)/
+	// oldMean; nil when the old mean is zero.
+	RelChange *float64 `json:"rel_change,omitempty"`
+
+	// Regression marks a statistically resolvable IPC drop: the new mean
+	// lies below the old 95% CI's lower bound AND the two intervals do not
+	// overlap. Overlapping intervals mean the difference is not
+	// distinguishable from seed noise at this sample size, so the gate
+	// stays green. The scalar tolerance plays no role here.
+	Regression bool `json:"regression"`
+}
+
 // Report aggregates a comparison. It is the CI perf gate: a sweep is
 // compared against the checked-in baseline and the build fails on
-// Regressions > 0 or Errored > 0.
+// Regressions > 0, GroupRegressions > 0, or Errored > 0.
 type Report struct {
 	Tolerance   float64 `json:"tolerance"`
 	Deltas      []Delta `json:"deltas"`
@@ -45,17 +69,28 @@ type Report struct {
 	// and failed in new); error-to-ok and error-to-error cells are visible
 	// in their Deltas but do not fail the gate.
 	Errored int `json:"errored"`
+
+	// Groups holds the CI-gated cell-group comparisons; empty (and absent
+	// from the JSON) when neither side has multi-seed replications, so
+	// single-seed reports are unchanged from the scalar-tolerance era.
+	Groups []GroupDelta `json:"groups,omitempty"`
+	// GroupRegressions counts groups whose mean IPC dropped with
+	// non-overlapping 95% confidence intervals.
+	GroupRegressions int `json:"group_regressions,omitempty"`
 }
 
 // Err returns the gate verdict: non-nil when the report carries
-// regressions or ok-to-error cells.
+// regressions (scalar or CI-gated) or ok-to-error cells.
 func (rep Report) Err() error {
-	if rep.Regressions == 0 && rep.Errored == 0 {
+	if rep.Regressions == 0 && rep.Errored == 0 && rep.GroupRegressions == 0 {
 		return nil
 	}
 	var parts []string
 	if rep.Regressions > 0 {
 		parts = append(parts, fmt.Sprintf("%d IPC regressions beyond %.1f%% tolerance", rep.Regressions, 100*rep.Tolerance))
+	}
+	if rep.GroupRegressions > 0 {
+		parts = append(parts, fmt.Sprintf("%d mean-IPC regressions outside the 95%% CI overlap gate", rep.GroupRegressions))
 	}
 	if rep.Errored > 0 {
 		parts = append(parts, fmt.Sprintf("%d cells newly errored", rep.Errored))
@@ -79,13 +114,37 @@ func keyResults(side string, rs []Result) (map[string]Result, error) {
 	return byKey, nil
 }
 
-// Compare matches cells of two result sets by key and flags IPC drops
-// larger than tol (a fraction: 0.02 tolerates a 2% drop). Cells present on
-// only one side are reported as missing, never as regressions. Cells that
-// errored on either side skip the IPC comparison and are surfaced via the
-// delta's OldError/NewError; an ok-to-error transition counts in
-// Report.Errored and fails Report.Err. Duplicate cell keys on either side
-// are an error.
+// okReplications counts each cell-group's non-errored cells.
+func okReplications(rs []Result) map[string]int {
+	n := make(map[string]int)
+	for _, r := range rs {
+		if r.Error == "" {
+			n[r.GroupKey()]++
+		}
+	}
+	return n
+}
+
+// Compare matches two result sets and flags IPC regressions.
+//
+// Single-replication cells — any (workload, engine, policy) group where
+// either side has fewer than two ok cells — are compared cell-by-cell by
+// key, flagging drops larger than tol (a fraction: 0.02 tolerates a 2%
+// drop). Cells present on only one side are reported as missing, never as
+// regressions; cells that errored on either side skip the IPC comparison
+// and are surfaced via the delta's OldError/NewError, with an ok-to-error
+// transition counting in Report.Errored and failing Report.Err. This is
+// the exact pre-replication behavior, so existing single-seed baselines
+// keep gating bit-for-bit identically.
+//
+// Groups with at least two ok replications on both sides are CI-gated
+// instead: each side's seeds aggregate to a mean and 95% confidence
+// interval, and the group regresses only when the new mean falls below
+// the old interval's lower bound with non-overlapping intervals — a drop
+// the replications can actually distinguish from seed noise. Their ok
+// cells produce no per-cell deltas (the seed sets need not even match);
+// errored cells in such groups still get per-cell deltas and the usual
+// ok-to-error gating. Duplicate cell keys on either side are an error.
 func Compare(old, new []Result, tol float64) (Report, error) {
 	if tol < 0 {
 		tol = 0
@@ -99,21 +158,61 @@ func Compare(old, new []Result, tol float64) (Report, error) {
 		return Report{}, err
 	}
 
-	keys := make([]string, 0, len(oldByKey)+len(newByKey))
-	for k := range oldByKey {
-		keys = append(keys, k)
-	}
-	for k := range newByKey {
-		if _, dup := oldByKey[k]; !dup {
-			keys = append(keys, k)
+	// A group is CI-gated when both sides carry real replication: at
+	// least two ok cells each.
+	okOld, okNew := okReplications(old), okReplications(new)
+	ciGated := make(map[string]bool)
+	for gk, n := range okOld {
+		if n >= 2 && okNew[gk] >= 2 {
+			ciGated[gk] = true
 		}
 	}
-	sort.Strings(keys)
+
+	// One representative result per unique cell key, in canonical
+	// (workload, engine, policy, numeric seed) order — the same order
+	// SortResults gives tables and JSON, so report rows match even on
+	// multi-seed files where a lexical key sort would stray.
+	reps := make([]Result, 0, len(oldByKey)+len(newByKey))
+	reps = append(reps, old...)
+	for _, r := range new {
+		if _, dup := oldByKey[r.Key()]; !dup {
+			reps = append(reps, r)
+		}
+	}
+	sort.Slice(reps, func(i, j int) bool { return lessResult(reps[i], reps[j]) })
 
 	rep := Report{Tolerance: tol}
-	for _, k := range keys {
+	groupOrder := make([]string, 0, len(ciGated))
+	groupVals := make(map[string]*[2][]float64)
+	for _, rc := range reps {
+		k := rc.Key()
+		gk := rc.GroupKey()
 		o, inOld := oldByKey[k]
 		n, inNew := newByKey[k]
+		if ciGated[gk] {
+			// Ok cells feed their side's aggregate (in sorted order, so
+			// the floating-point sums are deterministic) and produce no
+			// per-cell delta: differing seed sets are just differing
+			// sample sizes, not missing cells. Only error-bearing cells
+			// fall through to per-cell reporting.
+			gv, ok := groupVals[gk]
+			if !ok {
+				gv = &[2][]float64{}
+				groupVals[gk] = gv
+				groupOrder = append(groupOrder, gk)
+			}
+			if inOld && o.Error == "" {
+				gv[0] = append(gv[0], o.IPC)
+			}
+			if inNew && n.Error == "" {
+				gv[1] = append(gv[1], n.IPC)
+			}
+			oErr := inOld && o.Error != ""
+			nErr := inNew && n.Error != ""
+			if !oErr && !nErr {
+				continue
+			}
+		}
 		d := Delta{Key: k, OldIPC: o.IPC, NewIPC: n.IPC}
 		switch {
 		case !inOld:
@@ -141,11 +240,72 @@ func Compare(old, new []Result, tol float64) (Report, error) {
 		}
 		rep.Deltas = append(rep.Deltas, d)
 	}
+
+	for _, gk := range groupOrder {
+		gv := groupVals[gk]
+		gd := GroupDelta{Key: gk, OldIPC: summarize(gv[0]), NewIPC: summarize(gv[1])}
+		if gd.OldIPC.Mean != 0 {
+			rc := (gd.NewIPC.Mean - gd.OldIPC.Mean) / gd.OldIPC.Mean
+			gd.RelChange = &rc
+		}
+		if gd.NewIPC.Mean < gd.OldIPC.CILow && gd.NewIPC.CIHigh < gd.OldIPC.CILow {
+			gd.Regression = true
+			rep.GroupRegressions++
+		}
+		rep.Groups = append(rep.Groups, gd)
+	}
 	return rep, nil
 }
 
-// String renders the report as an aligned table plus a one-line verdict.
+// ipcCell renders one side's IPC for the per-cell table; a side the cell
+// is missing from renders blank — its zero-value Result carries a
+// fabricated IPC of 0 that must not be readable as a measured value.
+func ipcCell(d Delta, side string) string {
+	if d.MissingIn == side {
+		return ""
+	}
+	if side == "old" {
+		return fmt.Sprintf("%.3f", d.OldIPC)
+	}
+	return fmt.Sprintf("%.3f", d.NewIPC)
+}
+
+// String renders the report: the CI-gated group table (when any groups
+// exist) with per-side means and 95% CI half-widths, then the per-cell
+// table, then a one-line verdict. Single-seed reports — no groups —
+// render exactly as they did before the replication layer existed.
 func (rep Report) String() string {
+	var b strings.Builder
+	if len(rep.Groups) > 0 {
+		rows := [][]string{{"GROUP", "N", "OLD.IPC", "OLD.CI95", "NEW.IPC", "NEW.CI95", "CHANGE", "FLAG"}}
+		for _, g := range rep.Groups {
+			change := "n/a"
+			if g.RelChange != nil {
+				change = fmt.Sprintf("%+.2f%%", 100**g.RelChange)
+			}
+			flag := ""
+			if g.Regression {
+				flag = "REGRESSION"
+			}
+			rows = append(rows, []string{
+				g.Key,
+				fmt.Sprintf("%d/%d", g.OldIPC.N, g.NewIPC.N),
+				fmt.Sprintf("%.3f", g.OldIPC.Mean),
+				fmt.Sprintf("%.4f", g.OldIPC.CIHalfWidth()),
+				fmt.Sprintf("%.3f", g.NewIPC.Mean),
+				fmt.Sprintf("%.4f", g.NewIPC.CIHalfWidth()),
+				change,
+				flag,
+			})
+		}
+		b.WriteString(renderAligned(rows))
+		fmt.Fprintf(&b, "%d cell-groups gated on 95%% CI overlap, %d mean-IPC regressions\n",
+			len(rep.Groups), rep.GroupRegressions)
+		if len(rep.Deltas) == 0 {
+			return b.String()
+		}
+		b.WriteByte('\n')
+	}
 	rows := [][]string{{"CELL", "OLD.IPC", "NEW.IPC", "CHANGE", "FLAG"}}
 	for _, d := range rep.Deltas {
 		change, flag := "", ""
@@ -171,13 +331,12 @@ func (rep Report) String() string {
 		}
 		rows = append(rows, []string{
 			d.Key,
-			fmt.Sprintf("%.3f", d.OldIPC),
-			fmt.Sprintf("%.3f", d.NewIPC),
+			ipcCell(d, "old"),
+			ipcCell(d, "new"),
 			change,
 			flag,
 		})
 	}
-	var b strings.Builder
 	b.WriteString(renderAligned(rows))
 	fmt.Fprintf(&b, "%d cells compared, %d regressions (tolerance %.1f%%), %d newly errored, %d missing\n",
 		len(rep.Deltas), rep.Regressions, 100*rep.Tolerance, rep.Errored, rep.Missing)

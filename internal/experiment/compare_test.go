@@ -207,6 +207,236 @@ func TestReadJSONRejectsDuplicateKeys(t *testing.T) {
 	}
 }
 
+// seeded builds one cell-group's results across a seed list.
+func seeded(workload, engine, policy string, ipcs ...float64) []Result {
+	rs := make([]Result, len(ipcs))
+	for i, ipc := range ipcs {
+		rs[i] = res(workload, engine, policy, uint64(i+1), ipc)
+	}
+	return rs
+}
+
+// Two 3-seed runs of the same configuration whose means differ inside the
+// seed noise must pass: the CI-overlap gate exists precisely so replication
+// noise stops failing builds.
+func TestCompareCIOverlapToleratesNoise(t *testing.T) {
+	old := seeded("2_MIX", "stream", "ICOUNT.1.8", 2.00, 2.10, 1.90)  // mean 2.00, CI ±0.248
+	new_ := seeded("2_MIX", "stream", "ICOUNT.1.8", 1.95, 2.05, 2.15) // mean 2.05, overlapping
+	rep := mustCompare(t, old, new_, 0.001)
+	if len(rep.Groups) != 1 {
+		t.Fatalf("Groups = %+v, want 1 group", rep.Groups)
+	}
+	g := rep.Groups[0]
+	if g.Key != "2_MIX/stream/ICOUNT.1.8" {
+		t.Fatalf("group key = %q", g.Key)
+	}
+	if g.OldIPC.N != 3 || g.NewIPC.N != 3 {
+		t.Fatalf("group Ns = %d/%d", g.OldIPC.N, g.NewIPC.N)
+	}
+	if g.Regression || rep.GroupRegressions != 0 {
+		t.Fatalf("noise flagged as regression: %+v", g)
+	}
+	// The ok replications are absorbed into the group — no per-cell
+	// deltas, no scalar regressions even at a tolerance the per-seed
+	// noise would blow through.
+	if len(rep.Deltas) != 0 || rep.Regressions != 0 || rep.Missing != 0 {
+		t.Fatalf("per-cell leakage: %+v", rep)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+}
+
+// An injected true IPC drop — new mean below the old CI with
+// non-overlapping intervals — must fail the gate.
+func TestCompareCIOverlapFlagsTrueDrop(t *testing.T) {
+	old := seeded("2_MIX", "stream", "ICOUNT.1.8", 2.00, 2.10, 1.90)  // CI [1.752, 2.248]
+	new_ := seeded("2_MIX", "stream", "ICOUNT.1.8", 1.00, 1.02, 0.98) // CI [0.950, 1.050]
+	rep := mustCompare(t, old, new_, 0.001)
+	if rep.GroupRegressions != 1 || !rep.Groups[0].Regression {
+		t.Fatalf("true drop not flagged: %+v", rep.Groups)
+	}
+	if rc := rep.Groups[0].RelChange; rc == nil || math.Abs(*rc-(-0.5)) > 1e-9 {
+		t.Fatalf("RelChange = %v, want -0.5", rc)
+	}
+	err := rep.Err()
+	if err == nil || !strings.Contains(err.Error(), "CI overlap") {
+		t.Fatalf("Err() = %v, want CI-overlap verdict", err)
+	}
+	if s := rep.String(); !strings.Contains(s, "REGRESSION") || !strings.Contains(s, "OLD.CI95") {
+		t.Fatalf("report missing group table:\n%s", s)
+	}
+
+	// The same magnitude upward is an improvement, not a regression: the
+	// gate is one-sided, like the scalar-tolerance gate.
+	rep = mustCompare(t, new_, old, 0.001)
+	if rep.GroupRegressions != 0 {
+		t.Fatalf("improvement flagged: %+v", rep.Groups)
+	}
+}
+
+// Zero-variance replications give point intervals: any true drop is
+// resolvable, and identical results are never flagged.
+func TestCompareCIOverlapZeroVariance(t *testing.T) {
+	same := seeded("2_MIX", "stream", "ICOUNT.1.8", 2.0, 2.0, 2.0)
+	if rep := mustCompare(t, same, same, 0); rep.GroupRegressions != 0 || rep.Err() != nil {
+		t.Fatalf("self-compare failed: %+v", rep)
+	}
+	lower := seeded("2_MIX", "stream", "ICOUNT.1.8", 1.999, 1.999, 1.999)
+	if rep := mustCompare(t, same, lower, 0); rep.GroupRegressions != 1 {
+		t.Fatalf("zero-variance drop not flagged: %+v", rep.Groups)
+	}
+}
+
+// CI gating needs >= 2 ok replications on BOTH sides; otherwise the group
+// keeps the scalar-tolerance per-cell semantics, including mixed files.
+func TestCompareCIRequiresReplicationOnBothSides(t *testing.T) {
+	multi := seeded("2_MIX", "stream", "ICOUNT.1.8", 2.00, 2.10, 1.90)
+	single := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.0)}
+	rep := mustCompare(t, multi, single, 0.02)
+	if len(rep.Groups) != 0 {
+		t.Fatalf("single-sided replication CI-gated: %+v", rep.Groups)
+	}
+	// Per-cell semantics: seed 1 compares (and regresses), seeds 2,3 are
+	// missing in new.
+	if rep.Regressions != 1 || rep.Missing != 2 {
+		t.Fatalf("Regressions/Missing = %d/%d, want 1/2", rep.Regressions, rep.Missing)
+	}
+}
+
+// The seed axis is a replication axis: the two sides need not share seed
+// sets or sample sizes, and differing seeds are not "missing" cells.
+func TestCompareCIDifferingSeedSets(t *testing.T) {
+	old := seeded("2_MIX", "stream", "ICOUNT.1.8", 2.00, 2.10, 1.90)
+	new_ := []Result{
+		res("2_MIX", "stream", "ICOUNT.1.8", 4, 2.01),
+		res("2_MIX", "stream", "ICOUNT.1.8", 5, 2.05),
+		res("2_MIX", "stream", "ICOUNT.1.8", 6, 1.99),
+		res("2_MIX", "stream", "ICOUNT.1.8", 7, 2.03),
+	}
+	rep := mustCompare(t, old, new_, 0.001)
+	if len(rep.Groups) != 1 || rep.Groups[0].OldIPC.N != 3 || rep.Groups[0].NewIPC.N != 4 {
+		t.Fatalf("groups = %+v", rep.Groups)
+	}
+	if rep.Missing != 0 || len(rep.Deltas) != 0 {
+		t.Fatalf("differing seed sets reported as missing: %+v", rep)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+}
+
+// Error cells inside a CI-gated group keep per-cell error semantics: an
+// ok-to-error transition still fails the gate, and the errored cell's
+// IPC-0 marker stays out of the mean.
+func TestCompareCIGroupWithErrorCell(t *testing.T) {
+	old := seeded("2_MIX", "stream", "ICOUNT.1.8", 2.00, 2.10, 1.90)
+	new_ := seeded("2_MIX", "stream", "ICOUNT.1.8", 2.00, 2.10)
+	bad := res("2_MIX", "stream", "ICOUNT.1.8", 3, 0)
+	bad.Error = "synthetic failure"
+	new_ = append(new_, bad)
+
+	rep := mustCompare(t, old, new_, 0.001)
+	if len(rep.Groups) != 1 || rep.Groups[0].NewIPC.N != 2 {
+		t.Fatalf("groups = %+v", rep.Groups)
+	}
+	approxMean := rep.Groups[0].NewIPC.Mean
+	if math.Abs(approxMean-2.05) > 1e-9 {
+		t.Fatalf("errored cell leaked into the mean: %v", approxMean)
+	}
+	if rep.Errored != 1 || len(rep.Deltas) != 1 || !rep.Deltas[0].Errored {
+		t.Fatalf("ok->error inside CI group not gated: %+v", rep)
+	}
+	if rep.Err() == nil {
+		t.Fatal("Err() nil despite a newly errored cell")
+	}
+}
+
+// A multi-seed file mixing CI-gated and single-seed groups applies each
+// group's semantics independently.
+func TestCompareMixedGroupModes(t *testing.T) {
+	old := append(seeded("2_MIX", "stream", "ICOUNT.1.8", 2.00, 2.10, 1.90),
+		res("4_MIX", "stream", "ICOUNT.1.8", 1, 1.50))
+	new_ := append(seeded("2_MIX", "stream", "ICOUNT.1.8", 2.05, 1.95, 2.00),
+		res("4_MIX", "stream", "ICOUNT.1.8", 1, 1.40)) // -6.7% scalar regression
+	rep := mustCompare(t, old, new_, 0.02)
+	if len(rep.Groups) != 1 || rep.GroupRegressions != 0 {
+		t.Fatalf("groups = %+v", rep.Groups)
+	}
+	if len(rep.Deltas) != 1 || !rep.Deltas[0].Regression || rep.Regressions != 1 {
+		t.Fatalf("single-seed group lost scalar gating: %+v", rep.Deltas)
+	}
+}
+
+// Regression test for the delta-ordering bug: sort.Strings on full keys
+// put seed 10 before seed 2, diverging from SortResults' numeric order.
+func TestCompareDeltaNumericSeedOrder(t *testing.T) {
+	old := []Result{
+		res("2_MIX", "stream", "ICOUNT.1.8", 10, 2.0),
+		res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.0),
+		res("2_MIX", "stream", "ICOUNT.1.8", 2, 2.0),
+	}
+	// Single ok cell on the new side keeps the group out of CI gating, so
+	// every cell produces a delta whose order we can check.
+	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.0)}
+	rep := mustCompare(t, old, new_, 0.02)
+	var keys []string
+	for _, d := range rep.Deltas {
+		keys = append(keys, d.Key)
+	}
+	want := []string{
+		"2_MIX/stream/ICOUNT.1.8/1",
+		"2_MIX/stream/ICOUNT.1.8/2",
+		"2_MIX/stream/ICOUNT.1.8/10",
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("delta order = %v, want %v", keys, want)
+		}
+	}
+}
+
+// Regression test for the fabricated-zero bug: a missing cell's absent
+// side used to render as IPC 0.000, indistinguishable from a measured
+// zero-IPC cell.
+func TestReportStringMissingCellRendersBlank(t *testing.T) {
+	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 1.5)}
+	new_ := []Result{res("4_MIX", "stream", "ICOUNT.1.8", 1, 1.5)}
+	out := mustCompare(t, old, new_, 0.02).String()
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.Contains(ln, "missing in") && strings.Contains(ln, "0.000") {
+			t.Fatalf("missing cell renders a fabricated 0.000:\n%s", out)
+		}
+	}
+	// The present side's value still renders.
+	if !strings.Contains(out, "1.500") {
+		t.Fatalf("present side's IPC missing:\n%s", out)
+	}
+}
+
+// Single-seed comparisons must be bit-for-bit what they were before the
+// replication layer: no groups key in the JSON, and the exact legacy text.
+func TestCompareSingleSeedUnchanged(t *testing.T) {
+	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 3.0)}
+	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.0)}
+	rep := mustCompare(t, old, new_, 0.02)
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"groups", "group_regressions"} {
+		if strings.Contains(string(blob), frag) {
+			t.Fatalf("single-seed report JSON grew a %q key:\n%s", frag, blob)
+		}
+	}
+	want := "CELL                       OLD.IPC  NEW.IPC  CHANGE   FLAG\n" +
+		"2_MIX/stream/ICOUNT.1.8/1  3.000    2.000    -33.33%  REGRESSION\n" +
+		"1 cells compared, 1 regressions (tolerance 2.0%), 0 newly errored, 0 missing\n"
+	if got := rep.String(); got != want {
+		t.Fatalf("single-seed report text changed:\n%q\nwant\n%q", got, want)
+	}
+}
+
 func TestReportString(t *testing.T) {
 	old := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 3.0)}
 	new_ := []Result{res("2_MIX", "stream", "ICOUNT.1.8", 1, 2.0)}

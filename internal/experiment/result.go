@@ -47,22 +47,34 @@ func (r Result) Key() string {
 	return fmt.Sprintf("%s/%s/%s/%d", r.Workload, r.Engine, r.Policy, r.Seed)
 }
 
+// GroupKey is the result's cell-group identity: the cell key without the
+// seed axis. Results sharing a GroupKey are replications of one
+// configuration and aggregate together (see Aggregate).
+func (r Result) GroupKey() string {
+	return r.Workload + "/" + r.Engine + "/" + r.Policy
+}
+
+// lessResult is the canonical result ordering: workload, engine, policy,
+// then numeric seed. SortResults and Compare's delta ordering both use it,
+// so tables, JSON, and compare reports agree — including on multi-seed
+// files, where a lexical sort of the full key would put seed 10 before 2.
+func lessResult(a, b Result) bool {
+	if a.Workload != b.Workload {
+		return a.Workload < b.Workload
+	}
+	if a.Engine != b.Engine {
+		return a.Engine < b.Engine
+	}
+	if a.Policy != b.Policy {
+		return a.Policy < b.Policy
+	}
+	return a.Seed < b.Seed
+}
+
 // SortResults orders results by cell key: workload, engine, policy, seed.
 // Run output is always in this order, making sweep JSON deterministic.
 func SortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool {
-		a, b := rs[i], rs[j]
-		if a.Workload != b.Workload {
-			return a.Workload < b.Workload
-		}
-		if a.Engine != b.Engine {
-			return a.Engine < b.Engine
-		}
-		if a.Policy != b.Policy {
-			return a.Policy < b.Policy
-		}
-		return a.Seed < b.Seed
-	})
+	sort.Slice(rs, func(i, j int) bool { return lessResult(rs[i], rs[j]) })
 }
 
 // resultsFile is the on-disk schema: a versioned envelope so future PRs can

@@ -408,3 +408,57 @@ func TestErrorCellsNotCached(t *testing.T) {
 		t.Fatal("ok cell was not cached")
 	}
 }
+
+// The server's multi-seed invariant: seeds are just another cache-key
+// component — the server aggregates nothing. A grid whose seed axis grows
+// reuses every already-simulated (cell, seed) pair, and the client-side
+// aggregate over a mixed cached/fresh response is byte-identical to the
+// aggregate over a fully fresh local run of the same grid.
+func TestMultiSeedRoundTripAggregatesIdentically(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	warm := tinyRequest()
+	warm.Seeds = []uint64{1, 2}
+	if resp, body := postSweep(t, ts, warm); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up sweep: %s: %s", resp.Status, body)
+	}
+	if st := srv.CacheStats(); st.Hits != 0 || st.Misses != 4 || st.Stores != 4 {
+		t.Fatalf("stats after 2-seed sweep = %+v", st)
+	}
+
+	// Growing the seed axis to {1,2,3} re-simulates only the two seed-3
+	// cells; the four (policy, seed) pairs already cached are hits.
+	grown := tinyRequest()
+	grown.Seeds = []uint64{1, 2, 3}
+	resp, body := postSweep(t, ts, grown)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grown sweep: %s: %s", resp.Status, body)
+	}
+	if st := srv.CacheStats(); st.Hits != 4 || st.Misses != 6 || st.Stores != 6 {
+		t.Fatalf("stats after 3-seed sweep = %+v", st)
+	}
+
+	served, err := experiment.ReadJSON(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := grown.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := experiment.MarshalAggregateJSON(experiment.Aggregate(served))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiment.MarshalAggregateJSON(experiment.Aggregate(fresh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cached+fresh aggregate differs from all-fresh aggregate:\n%s\nvs\n%s", a, b)
+	}
+}
