@@ -1,0 +1,84 @@
+// Command smtfetch-lint runs the smtfetch invariants-as-lints suite
+// (poolown, zeroalloc, determinism — see internal/lint).
+//
+// It is two tools in one binary:
+//
+//   - a go vet tool: `go vet -vettool=$(which smtfetch-lint) ./...`
+//     drives it through the x/tools unitchecker protocol, with facts and
+//     caching handled by the go command;
+//   - a standalone checker: `smtfetch-lint ./...` loads packages from
+//     source via internal/lint/driver and prints diagnostics, and
+//     `smtfetch-lint -escape ./internal/...` runs the escape-analysis
+//     gate (internal/lint/escape) instead of the analyzers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"smtfetch/internal/lint"
+	"smtfetch/internal/lint/driver"
+	"smtfetch/internal/lint/escape"
+)
+
+func main() {
+	// go vet protocol: the go command invokes the tool as
+	// `tool -V=full`, `tool -flags`, or `tool [flags] unit.cfg`.
+	// unitchecker.Main handles all three and never returns.
+	for _, arg := range os.Args[1:] {
+		if strings.HasPrefix(arg, "-V=") || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(lint.Analyzers()...)
+		}
+	}
+
+	flags := flag.NewFlagSet("smtfetch-lint", flag.ExitOnError)
+	escapeGate := flags.Bool("escape", false, "run the escape-analysis gate instead of the analyzers")
+	allowlist := flags.String("escape-allowlist", "", "allowlist file for -escape (default: internal/lint/escape/allowlist.txt under the module root)")
+	flags.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage:
+  smtfetch-lint [packages]            run poolown/zeroalloc/determinism
+  smtfetch-lint -escape [packages]    run the escape-analysis gate
+  go vet -vettool=$(which smtfetch-lint) [packages]
+
+Defaults to ./... when no packages are named.
+`)
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	if *escapeGate {
+		if err := escape.Gate(os.Stdout, ".", *allowlist, patterns...); err != nil {
+			fmt.Fprintln(os.Stderr, "smtfetch-lint:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	prog, err := driver.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtfetch-lint:", err)
+		os.Exit(2)
+	}
+	diags, err := prog.Run(lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smtfetch-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s\n", d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "smtfetch-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

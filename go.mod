@@ -1,3 +1,7 @@
 module smtfetch
 
-go 1.21
+go 1.24
+
+toolchain go1.24.0
+
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

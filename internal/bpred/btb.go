@@ -41,12 +41,17 @@ func NewBTB(entries, assoc int) *BTB {
 	}
 }
 
+//smtfetch:hotpath
 func (b *BTB) set(pc isa.Addr) int { return int((uint64(pc) >> 2) % uint64(b.sets)) }
+
+//smtfetch:hotpath
 func (b *BTB) tag(pc isa.Addr) uint64 {
 	return uint64(pc) >> 2 / uint64(b.sets)
 }
 
 // Lookup probes the BTB for the branch at pc.
+//
+//smtfetch:hotpath
 func (b *BTB) Lookup(pc isa.Addr) (BTBEntry, bool) {
 	b.Lookups++
 	base := b.set(pc) * b.assoc
@@ -64,6 +69,8 @@ func (b *BTB) Lookup(pc isa.Addr) (BTBEntry, bool) {
 }
 
 // Insert installs or updates the entry for the branch at pc.
+//
+//smtfetch:hotpath
 func (b *BTB) Insert(pc isa.Addr, e BTBEntry) {
 	base := b.set(pc) * b.assoc
 	tag := b.tag(pc)

@@ -14,8 +14,10 @@ import "smtfetch/internal/isa"
 // counter is a 2-bit saturating counter; values 0..3, taken when >= 2.
 type counter uint8
 
+//smtfetch:hotpath
 func (c counter) taken() bool { return c >= 2 }
 
+//smtfetch:hotpath
 func (c counter) inc() counter {
 	if c < 3 {
 		return c + 1
@@ -23,6 +25,7 @@ func (c counter) inc() counter {
 	return c
 }
 
+//smtfetch:hotpath
 func (c counter) dec() counter {
 	if c > 0 {
 		return c - 1
@@ -68,16 +71,21 @@ func NewGShare(entries, historyBits int) *GShare {
 	return g
 }
 
+//smtfetch:hotpath
 func (g *GShare) index(pc isa.Addr, hist uint64) uint64 {
 	return ((uint64(pc) >> 2) ^ (hist & g.histMask)) & g.mask
 }
 
 // Predict implements DirPredictor.
+//
+//smtfetch:hotpath
 func (g *GShare) Predict(pc isa.Addr, hist uint64) bool {
 	return g.table[g.index(pc, hist)].taken()
 }
 
 // Update implements DirPredictor.
+//
+//smtfetch:hotpath
 func (g *GShare) Update(pc isa.Addr, hist uint64, taken bool) {
 	i := g.index(pc, hist)
 	if taken {
@@ -122,6 +130,8 @@ func NewGSkew(entries, historyBits int) *GSkew {
 // indices computes all three bank indices in one straight-line pass — the
 // shared gshare term is hashed once and no per-bank branch is taken, which
 // keeps the per-prediction path flat and inlinable.
+//
+//smtfetch:hotpath
 func (g *GSkew) indices(pc isa.Addr, hist uint64) (uint64, uint64, uint64) {
 	x := (uint64(pc) >> 2) ^ (hist & g.histMask)
 	x1 := x * 0x9e3779b97f4a7c15 // odd => bijective on 64 bits
@@ -132,6 +142,8 @@ func (g *GSkew) indices(pc isa.Addr, hist uint64) (uint64, uint64, uint64) {
 }
 
 // Predict implements DirPredictor (majority of the three banks).
+//
+//smtfetch:hotpath
 func (g *GSkew) Predict(pc isa.Addr, hist uint64) bool {
 	i0, i1, i2 := g.indices(pc, hist)
 	votes := 0
@@ -149,6 +161,8 @@ func (g *GSkew) Predict(pc isa.Addr, hist uint64) bool {
 
 // Update implements DirPredictor. All banks are trained (total update
 // policy; the partial-update variant changes little at these sizes).
+//
+//smtfetch:hotpath
 func (g *GSkew) Update(pc isa.Addr, hist uint64, taken bool) {
 	i0, i1, i2 := g.indices(pc, hist)
 	if taken {
@@ -179,11 +193,15 @@ func NewBimodal(entries int) *Bimodal {
 }
 
 // Predict implements DirPredictor (history is ignored).
+//
+//smtfetch:hotpath
 func (b *Bimodal) Predict(pc isa.Addr, _ uint64) bool {
 	return b.table[(uint64(pc)>>2)&b.mask].taken()
 }
 
 // Update implements DirPredictor.
+//
+//smtfetch:hotpath
 func (b *Bimodal) Update(pc isa.Addr, _ uint64, taken bool) {
 	i := (uint64(pc) >> 2) & b.mask
 	if taken {

@@ -55,9 +55,13 @@ func NewFTB(entries, assoc int) *FTB {
 	}
 }
 
-func (f *FTB) set(pc isa.Addr) int    { return int((uint64(pc) >> 2) % uint64(f.sets)) }
+//smtfetch:hotpath
+func (f *FTB) set(pc isa.Addr) int { return int((uint64(pc) >> 2) % uint64(f.sets)) }
+
+//smtfetch:hotpath
 func (f *FTB) tag(pc isa.Addr) uint64 { return uint64(pc) >> 2 / uint64(f.sets) }
 
+//smtfetch:hotpath
 func (f *FTB) find(pc isa.Addr) int {
 	base := f.set(pc) * f.assoc
 	tag := f.tag(pc)
@@ -71,6 +75,8 @@ func (f *FTB) find(pc isa.Addr) int {
 }
 
 // Lookup probes the FTB for a fetch block starting at pc.
+//
+//smtfetch:hotpath
 func (f *FTB) Lookup(pc isa.Addr) (FTBEntry, bool) {
 	f.Lookups++
 	if i := f.find(pc); i >= 0 {
@@ -85,6 +91,8 @@ func (f *FTB) Lookup(pc isa.Addr) (FTBEntry, bool) {
 // Train installs or updates the fetch block starting at start, terminated
 // by a taken branch `instrs` instructions in, of the given kind and target.
 // Called at commit when a taken branch resolves.
+//
+//smtfetch:hotpath
 func (f *FTB) Train(start isa.Addr, instrs int, kind isa.BranchKind, target isa.Addr) {
 	if instrs < 1 {
 		instrs = 1
@@ -122,6 +130,8 @@ func (f *FTB) Train(start isa.Addr, instrs int, kind isa.BranchKind, target isa.
 // resolved not-taken. After ftbMaxFallthroughs consecutive not-taken
 // outcomes the entry is dropped, letting the block re-form past the cold
 // branch. It reports whether the entry was invalidated.
+//
+//smtfetch:hotpath
 func (f *FTB) Fallthrough(start isa.Addr) bool {
 	i := f.find(start)
 	if i < 0 {
@@ -136,6 +146,8 @@ func (f *FTB) Fallthrough(start isa.Addr) bool {
 }
 
 // TakenReset clears the fall-through hysteresis after a taken outcome.
+//
+//smtfetch:hotpath
 func (f *FTB) TakenReset(start isa.Addr) {
 	if i := f.find(start); i >= 0 {
 		f.data[i].fallthroughs = 0

@@ -18,6 +18,8 @@ func NewRAS(n int) *RAS {
 }
 
 // Push records a return address on a call.
+//
+//smtfetch:hotpath
 func (r *RAS) Push(a isa.Addr) {
 	r.top = (r.top + 1) % len(r.entries)
 	r.entries[r.top] = a
@@ -27,6 +29,8 @@ func (r *RAS) Push(a isa.Addr) {
 }
 
 // Pop predicts a return target. Popping an empty RAS returns 0 and false.
+//
+//smtfetch:hotpath
 func (r *RAS) Pop() (isa.Addr, bool) {
 	if r.depth == 0 {
 		return 0, false
@@ -60,6 +64,8 @@ type RASCheckpoint struct {
 }
 
 // Checkpoint captures the current repair state.
+//
+//smtfetch:hotpath
 func (r *RAS) Checkpoint() RASCheckpoint {
 	cp := RASCheckpoint{top: r.top, depth: r.depth}
 	if r.depth > 0 {
@@ -69,6 +75,8 @@ func (r *RAS) Checkpoint() RASCheckpoint {
 }
 
 // Restore rewinds the RAS to a checkpoint.
+//
+//smtfetch:hotpath
 func (r *RAS) Restore(cp RASCheckpoint) {
 	r.top = cp.top
 	r.depth = cp.depth

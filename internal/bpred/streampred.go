@@ -52,9 +52,13 @@ func newStreamTable(entries, assoc int) *streamTable {
 	}
 }
 
-func (t *streamTable) set(key uint64) int      { return int(key % uint64(t.sets)) }
+//smtfetch:hotpath
+func (t *streamTable) set(key uint64) int { return int(key % uint64(t.sets)) }
+
+//smtfetch:hotpath
 func (t *streamTable) tagOf(key uint64) uint64 { return key / uint64(t.sets) }
 
+//smtfetch:hotpath
 func (t *streamTable) find(key uint64) int {
 	base := t.set(key) * t.assoc
 	tag := t.tagOf(key)
@@ -67,6 +71,7 @@ func (t *streamTable) find(key uint64) int {
 	return -1
 }
 
+//smtfetch:hotpath
 func (t *streamTable) lookup(key uint64) (StreamPrediction, bool) {
 	if i := t.find(key); i >= 0 {
 		t.stamp++
@@ -80,6 +85,8 @@ func (t *streamTable) lookup(key uint64) (StreamPrediction, bool) {
 // a matching outcome strengthens confidence; a mismatch weakens it and
 // replaces the payload only when confidence is exhausted. This keeps a
 // stable stream from being destroyed by one aberrant iteration.
+//
+//smtfetch:hotpath
 func (t *streamTable) train(key uint64, pred StreamPrediction) {
 	if i := t.find(key); i >= 0 {
 		e := &t.data[i]
@@ -124,6 +131,8 @@ type PathHistory struct {
 }
 
 // Push records a new taken-branch target.
+//
+//smtfetch:hotpath
 func (p *PathHistory) Push(target isa.Addr) {
 	p.pos = (p.pos + 1) % uint8(len(p.ring))
 	p.ring[p.pos] = uint32(uint64(target) >> 2)
@@ -139,6 +148,8 @@ type DOLC struct {
 // key: Current bits from the start address, Last bits from the most recent
 // target, and Older bits from each of the Depth-1 older targets, XOR-folded
 // with rotation.
+//
+//smtfetch:hotpath
 func (d DOLC) Hash(p *PathHistory, current isa.Addr) uint64 {
 	key := (uint64(current) >> 2) & ((1 << uint(d.Current)) - 1)
 	shift := uint(d.Current)
@@ -186,6 +197,8 @@ func NewStreamPredictor(l1Entries, l1Assoc, l2Entries, l2Assoc int, dolc DOLC) *
 }
 
 // Predict returns the stream starting at start given the path history.
+//
+//smtfetch:hotpath
 func (s *StreamPredictor) Predict(start isa.Addr, path *PathHistory) (StreamPrediction, bool) {
 	s.Lookups++
 	if pred, ok := s.l2.lookup(s.dolc.Hash(path, start)); ok {
@@ -201,6 +214,8 @@ func (s *StreamPredictor) Predict(start isa.Addr, path *PathHistory) (StreamPred
 
 // Train records the resolved stream (start, path) -> pred in both levels.
 // Called at commit when the stream's terminating taken branch retires.
+//
+//smtfetch:hotpath
 func (s *StreamPredictor) Train(start isa.Addr, path *PathHistory, pred StreamPrediction) {
 	if pred.Length < 1 {
 		pred.Length = 1

@@ -56,22 +56,29 @@ func New(cfg config.CacheConfig) *Cache {
 func (c *Cache) Config() config.CacheConfig { return c.cfg }
 
 // LineAddr returns the line-aligned address containing a.
+//
+//smtfetch:hotpath
 func (c *Cache) LineAddr(a isa.Addr) isa.Addr {
 	return isa.Addr(uint64(a) &^ (uint64(c.cfg.LineBytes) - 1))
 }
 
 // Bank returns the interleaved bank index for address a (line-granularity
 // interleaving, as in Table 3's 8-bank caches).
+//
+//smtfetch:hotpath
 func (c *Cache) Bank(a isa.Addr) int {
 	return int((uint64(a) >> c.lineBits) & c.bankMask)
 }
 
+//smtfetch:hotpath
 func (c *Cache) set(a isa.Addr) int {
 	return int((uint64(a) >> c.lineBits) & c.setMask)
 }
 
 // Lookup probes the cache for the line containing a, updating LRU state and
 // access counters. It reports whether the line was present.
+//
+//smtfetch:hotpath
 func (c *Cache) Lookup(a isa.Addr) bool {
 	c.Accesses++
 	set := c.set(a)
@@ -105,6 +112,8 @@ func (c *Cache) Probe(a isa.Addr) bool {
 // Touch refreshes the LRU stamp of the line containing a if it is present,
 // without access counters (used for merged accesses to in-flight lines,
 // which are accounted as misses but keep the line hot).
+//
+//smtfetch:hotpath
 func (c *Cache) Touch(a isa.Addr) {
 	set := c.set(a)
 	tag := uint64(a) >> c.lineBits
@@ -120,6 +129,8 @@ func (c *Cache) Touch(a isa.Addr) {
 
 // Fill installs the line containing a, evicting the LRU way if needed.
 // It reports the evicted line address and whether an eviction occurred.
+//
+//smtfetch:hotpath
 func (c *Cache) Fill(a isa.Addr) (evicted isa.Addr, wasEvicted bool) {
 	set := c.set(a)
 	tag := uint64(a) >> c.lineBits
@@ -216,6 +227,8 @@ func NewTLB(entries int) *TLB {
 
 // Lookup probes for the page of a, filling on miss (hardware-walked TLB),
 // and reports whether it hit.
+//
+//smtfetch:hotpath
 func (t *TLB) Lookup(a isa.Addr) bool {
 	t.Accesses++
 	page := uint64(a) >> t.pageBits
@@ -247,6 +260,7 @@ func (t *TLB) Lookup(a isa.Addr) bool {
 	}
 	t.pages[victim] = page
 	t.valid[victim] = true
+	//smtfetch:allowalloc idx map size is bounded by the table's entry count: every insert evicts (deletes) a victim
 	t.idx[page] = victim
 	t.mru = victim
 	t.stamp++
@@ -278,6 +292,8 @@ func newMSHRSet() mshrSet {
 
 // expire retires every miss whose fill completed at or before now. Amortized
 // cost is O(log n) per retired miss; n is bounded by the MSHR budget.
+//
+//smtfetch:hotpath
 func (s *mshrSet) expire(now uint64) {
 	for len(s.heap) > 0 && s.heap[0].ready <= now {
 		rec := s.heap[0]
@@ -295,14 +311,20 @@ func (s *mshrSet) expire(now uint64) {
 
 // inFlight reports the line's fill-completion cycle if a miss for it is
 // still outstanding. Callers must expire(now) first.
+//
+//smtfetch:hotpath
 func (s *mshrSet) inFlight(line isa.Addr) (uint64, bool) {
 	r, ok := s.ready[line]
 	return r, ok
 }
 
 // add records a new outstanding miss completing at ready.
+//
+//smtfetch:hotpath
 func (s *mshrSet) add(line isa.Addr, ready uint64) {
+	//smtfetch:allowalloc MSHR heap and ready map are bounded by the MSHR capacity the caller checks; backing storage is reused across misses
 	s.ready[line] = ready
+	//smtfetch:allowalloc MSHR heap and ready map are bounded by the MSHR capacity the caller checks; backing storage is reused across misses
 	s.heap = append(s.heap, mshrRec{ready: ready, line: line})
 	i := len(s.heap) - 1
 	for i > 0 {
@@ -315,6 +337,7 @@ func (s *mshrSet) add(line isa.Addr, ready uint64) {
 	}
 }
 
+//smtfetch:hotpath
 func (s *mshrSet) siftDown(i int) {
 	n := len(s.heap)
 	for {
@@ -336,6 +359,8 @@ func (s *mshrSet) siftDown(i int) {
 
 // count returns the number of outstanding misses. Callers must expire(now)
 // first.
+//
+//smtfetch:hotpath
 func (s *mshrSet) count() int { return len(s.ready) }
 
 // Hierarchy glues L1I, L1D, L2, the TLBs and main-memory latency together
@@ -380,16 +405,21 @@ type AccessResult struct {
 
 // Instr performs an instruction fetch of the line containing a at cycle
 // now.
+//
+//smtfetch:hotpath
 func (h *Hierarchy) Instr(now uint64, a isa.Addr) AccessResult {
 	return h.access(now, a, h.L1I, h.ITLB, &h.imshrs)
 }
 
 // Data performs a data access (load or store) of the line containing a at
 // cycle now.
+//
+//smtfetch:hotpath
 func (h *Hierarchy) Data(now uint64, a isa.Addr) AccessResult {
 	return h.access(now, a, h.L1D, h.DTLB, &h.dmshrs)
 }
 
+//smtfetch:hotpath
 func (h *Hierarchy) access(now uint64, a isa.Addr, l1 *Cache, tlb *TLB, ms *mshrSet) AccessResult {
 	var res AccessResult
 	penalty := uint64(0)
@@ -439,6 +469,8 @@ func (h *Hierarchy) access(now uint64, a isa.Addr, l1 *Cache, tlb *TLB, ms *mshr
 // cycle now. The pipeline uses this to enforce the per-thread MSHR budget.
 // Cost is O(1) plus amortized O(log n) per newly completed fill — never a
 // full scan.
+//
+//smtfetch:hotpath
 func (h *Hierarchy) InFlightData(now uint64) int {
 	h.dmshrs.expire(now)
 	return h.dmshrs.count()

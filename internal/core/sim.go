@@ -29,6 +29,11 @@ import (
 // maximum in-flight window plus the maximum dependence distance).
 const ringBits = 12
 
+// threadState retains pooled uops (pendingFlush, replay, ring) by design:
+// flushed uops stay live until replayed, and the dependence ring is
+// identity-validated on every read, so stale pointers are harmless.
+//
+//smtfetch:poolowner
 type threadState struct {
 	icount             int
 	predictStallUntil  uint64
@@ -57,6 +62,13 @@ type threadState struct {
 }
 
 // Sim is one simulated SMT processor executing a fixed set of threads.
+//
+// Sim is the uop pool's root owner: freeUOps/uopSlab are the free list and
+// arena, limboCur/limboOld the recycling quarantine, and
+// execList/pendingDecode/flushBatch/flushTail per-cycle working sets that
+// drop squashed entries lazily. CheckInvariants walks all of them.
+//
+//smtfetch:poolowner
 type Sim struct {
 	cfg  *config.Config
 	fe   *fetch.FrontEnd
@@ -128,6 +140,11 @@ type Sim struct {
 
 // New builds a simulator for the given configuration and per-thread
 // programs. seed makes the whole run deterministic.
+//
+// New is pool machinery: it pre-sizes every uop-retaining buffer to its
+// pipeline bound so the steady state never grows them.
+//
+//smtfetch:poolowner
 func New(cfg config.Config, programs []*prog.Program, seed uint64) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -249,6 +266,11 @@ func (s *Sim) RunCycles(n uint64) *stats.Stats {
 
 // Cycle advances the processor one cycle. Stages run back to front so a
 // resource freed this cycle is usable next cycle, not instantaneously.
+//
+// Cycle is the zero-alloc root: it and everything it calls runs once per
+// simulated cycle and must not allocate (see internal/lint).
+//
+//smtfetch:hotpath
 func (s *Sim) Cycle() {
 	s.recycleLimbo()
 	s.commit()
@@ -273,8 +295,11 @@ func (s *Sim) Cycle() {
 // squashed during cycle N may still sit in execList or pendingDecode until
 // their cycle-N+1 scans drop it, so it becomes reusable at the top of cycle
 // N+2 — exactly when it leaves limboOld.
+//
+//smtfetch:hotpath
 func (s *Sim) recycleLimbo() {
 	for i, u := range s.limboOld {
+		//smtfetch:allowalloc free-list capacity converges to the allocated uop population; growth stops once the pool is warm
 		s.freeUOps = append(s.freeUOps, u)
 		s.limboOld[i] = nil
 	}
@@ -286,6 +311,9 @@ const uopSlabSize = 256
 
 // allocUOp takes a uop from the free list (or the current slab when the
 // list is empty) and resets it.
+//
+//smtfetch:poolowner
+//smtfetch:hotpath
 func (s *Sim) allocUOp() *pipeline.UOp {
 	if n := len(s.freeUOps); n > 0 {
 		u := s.freeUOps[n-1]
@@ -295,6 +323,7 @@ func (s *Sim) allocUOp() *pipeline.UOp {
 		return u
 	}
 	if len(s.uopSlab) == 0 {
+		//smtfetch:allowalloc slab growth: one heap allocation per uopSlabSize uops, only while the working set still grows
 		s.uopSlab = make([]pipeline.UOp, uopSlabSize)
 	}
 	u := &s.uopSlab[0]
@@ -306,6 +335,8 @@ func (s *Sim) allocUOp() *pipeline.UOp {
 // policy orders by (lower = higher priority) into the reused scratch slice.
 // STALL and FLUSH order like ICOUNT; their gating happens in the
 // eligibility callbacks.
+//
+//smtfetch:hotpath
 func (s *Sim) policyKeys() []int {
 	switch s.cfg.FetchPolicy.Policy {
 	case config.BRCount:
@@ -331,6 +362,8 @@ func (s *Sim) policyKeys() []int {
 // closer a thread's work sits to a queue head, the longer it has clogged
 // that queue, and the lower its fetch priority. Runs only under the IQPOSN
 // policy, after issue has removed this cycle's issued entries.
+//
+//smtfetch:hotpath
 func (s *Sim) computeIQPosn() {
 	for i := range s.iqposnBuf {
 		s.iqposnBuf[i] = 0
@@ -357,6 +390,8 @@ func (s *Sim) computeIQPosn() {
 // counters when it leaves the pipeline early (squash or flush). The
 // normal-completion decrements happen at issue (ICOUNT) and writeback
 // (BRCOUNT, MISSCOUNT, long-load gate).
+//
+//smtfetch:hotpath
 func (s *Sim) dropSignals(ts *threadState, u *pipeline.UOp) {
 	if u.InICount {
 		u.InICount = false
@@ -378,6 +413,7 @@ func (s *Sim) dropSignals(ts *threadState, u *pipeline.UOp) {
 
 // ---------------------------------------------------------------- commit
 
+//smtfetch:hotpath
 func (s *Sim) commit() {
 	budget := s.cfg.CommitWidth
 	start := int(s.now % uint64(s.nthreads))
@@ -405,11 +441,13 @@ func (s *Sim) commit() {
 			// pointer. Dropping the fetch-request reference may return
 			// the request to its pool.
 			s.releaseRequest(u)
+			//smtfetch:allowalloc free-list capacity converges to the allocated uop population; growth stops once the pool is warm
 			s.freeUOps = append(s.freeUOps, u)
 		}
 	}
 }
 
+//smtfetch:hotpath
 func (s *Sim) commitBranch(t int, u *pipeline.UOp) {
 	s.fe.CommitBranch(t, &u.Instruction, u.Info)
 	if u.BrKind == isa.CondBranch {
@@ -445,6 +483,8 @@ func (s *Sim) commitBranch(t int, u *pipeline.UOp) {
 // releaseRequest drops the uop's reference on the pooled fetch request
 // carrying its branch metadata. After this, u.Info must never be read
 // again: the request may be recycled into a different block.
+//
+//smtfetch:hotpath
 func (s *Sim) releaseRequest(u *pipeline.UOp) {
 	if u.Req != nil {
 		u.Req.Release()
@@ -453,6 +493,7 @@ func (s *Sim) releaseRequest(u *pipeline.UOp) {
 	}
 }
 
+//smtfetch:hotpath
 func (s *Sim) releaseReg(u *pipeline.UOp) {
 	if !u.HasDest || !u.Dispatched {
 		return
@@ -466,6 +507,7 @@ func (s *Sim) releaseReg(u *pipeline.UOp) {
 
 // ------------------------------------------------------------- writeback
 
+//smtfetch:hotpath
 func (s *Sim) writeback() {
 	out := s.execList[:0]
 	for _, u := range s.execList {
@@ -475,6 +517,7 @@ func (s *Sim) writeback() {
 			continue
 		}
 		if u.ReadyAt > s.now {
+			//smtfetch:allowalloc in-place compaction: out aliases execList[:0], so append never exceeds the existing capacity
 			out = append(out, u)
 			continue
 		}
@@ -508,6 +551,8 @@ func (s *Sim) writeback() {
 
 // decodeResolve fires misfetch recoveries for branches whose wrongness is
 // detectable at decode.
+//
+//smtfetch:hotpath
 func (s *Sim) decodeResolve() {
 	out := s.pendingDecode[:0]
 	for _, u := range s.pendingDecode {
@@ -515,6 +560,7 @@ func (s *Sim) decodeResolve() {
 			continue
 		}
 		if u.DecodeAt > s.now {
+			//smtfetch:allowalloc in-place compaction: out aliases pendingDecode[:0], so append never exceeds the existing capacity
 			out = append(out, u)
 			continue
 		}
@@ -529,10 +575,12 @@ func (s *Sim) decodeResolve() {
 
 // ---------------------------------------------------------------- issue
 
+//smtfetch:hotpath
 func (s *Sim) issue() {
 	s.inFlightData = s.hier.InFlightData(s.now)
 	for kind := 0; kind < pipeline.NumQueues; kind++ {
 		q := s.iqs[kind]
+		//smtfetch:allowalloc non-escaping closure: Scan calls it inline and does not retain it (escape gate verifies)
 		q.Scan(func(u *pipeline.UOp) bool {
 			if !s.depsReady(u) {
 				return false
@@ -550,6 +598,7 @@ func (s *Sim) issue() {
 	}
 }
 
+//smtfetch:hotpath
 func (s *Sim) poolFor(c isa.Class) *pipeline.FUPool {
 	switch c {
 	case isa.Load, isa.Store:
@@ -561,6 +610,7 @@ func (s *Sim) poolFor(c isa.Class) *pipeline.FUPool {
 	}
 }
 
+//smtfetch:hotpath
 func (s *Sim) startExec(u *pipeline.UOp) {
 	u.Issued = true
 	ts := &s.threads[u.Thread]
@@ -619,6 +669,7 @@ func (s *Sim) startExec(u *pipeline.UOp) {
 		ready = s.now + 1
 	}
 	u.ReadyAt = ready
+	//smtfetch:allowalloc execList capacity converges to the in-flight (ROB) bound; growth stops once the pool is warm
 	s.execList = append(s.execList, u)
 }
 
@@ -628,6 +679,8 @@ func (s *Sim) startExec(u *pipeline.UOp) {
 // ring slot never reverts to the producer). Each satisfied dependence is
 // therefore cleared to 0, so queued uops re-polled every cycle pay the
 // ring lookup at most once per input.
+//
+//smtfetch:hotpath
 func (s *Sim) depsReady(u *pipeline.UOp) bool {
 	if u.Dep1 != 0 {
 		if !s.depReady(u, u.Dep1) {
@@ -644,6 +697,7 @@ func (s *Sim) depsReady(u *pipeline.UOp) bool {
 	return true
 }
 
+//smtfetch:hotpath
 func (s *Sim) depReady(u *pipeline.UOp, d uint16) bool {
 	if d == 0 || uint64(d) > u.PathSeq {
 		return true
@@ -666,6 +720,7 @@ func (s *Sim) depReady(u *pipeline.UOp, d uint16) bool {
 
 // -------------------------------------------------------------- dispatch
 
+//smtfetch:hotpath
 func (s *Sim) dispatch() {
 	budget := s.cfg.DecodeWidth
 	for budget > 0 && s.frontPipe.Len() > 0 {
@@ -707,6 +762,8 @@ func (s *Sim) dispatch() {
 
 // decodeAdvance moves uops from the fetch buffer into the decode/rename
 // pipe.
+//
+//smtfetch:hotpath
 func (s *Sim) decodeAdvance() {
 	budget := s.cfg.DecodeWidth
 	for budget > 0 && s.fetchBuf.Len() > 0 {
@@ -717,6 +774,7 @@ func (s *Sim) decodeAdvance() {
 		u.EnterFront = s.now
 		u.DecodeAt = s.now + uint64(s.cfg.DecodeStages)
 		if u.Info != nil && u.Info.Resolve == ftq.ResolveDecode && !u.Ghost {
+			//smtfetch:allowalloc pendingDecode capacity converges to the decode-pipe bound; growth stops once the pool is warm
 			s.pendingDecode = append(s.pendingDecode, u)
 		}
 		s.frontPipe.Push(u)
@@ -726,6 +784,7 @@ func (s *Sim) decodeAdvance() {
 
 // ------------------------------------------------------------ fetch stage
 
+//smtfetch:hotpath
 func (s *Sim) fetchStage() {
 	room := s.cfg.FetchBufferSize - s.fetchBuf.Len()
 	if room <= 0 {
@@ -777,6 +836,8 @@ func (s *Sim) fetchStage() {
 // head request, honouring cache-line supply limits and bank conflicts
 // (tracked in the s.usedBanks bitmask). It returns the number of
 // instructions delivered.
+//
+//smtfetch:hotpath
 func (s *Sim) fetchFromThread(t, budget int) int {
 	ts := &s.threads[t]
 	if ts.replayPos < len(ts.replay) {
@@ -892,6 +953,8 @@ func (s *Sim) fetchFromThread(t, budget int) int {
 // deliver finishes a uop's delivery into the fetch buffer — the
 // bookkeeping shared by first fetch and FLUSH replay: fetch stamp, policy
 // signal counts, dependence-ring registration, and the buffer push.
+//
+//smtfetch:hotpath
 func (s *Sim) deliver(ts *threadState, t int, u *pipeline.UOp) {
 	u.FetchedAt = s.now
 	u.InICount = true
@@ -910,6 +973,8 @@ func (s *Sim) deliver(ts *threadState, t int, u *pipeline.UOp) {
 // their identity (GSeq, PathSeq, fetch-request reference, ghost flag) but
 // restart from the fetch stage: they flow through decode/rename and
 // dispatch again, which is the FLUSH policy's refetch cost.
+//
+//smtfetch:hotpath
 func (s *Sim) replayFromThread(t, budget int) int {
 	ts := &s.threads[t]
 	n := 0
@@ -947,6 +1012,8 @@ func (s *Sim) replayFromThread(t, budget int) int {
 // (Tullsen & Brown, MICRO 2001). The thread's fetch is already gated by
 // the long-load signal; once the load completes, the replay queue drains
 // back through the fetch buffer.
+//
+//smtfetch:hotpath
 func (s *Sim) flushStage() {
 	for t := range s.threads {
 		ts := &s.threads[t]
@@ -967,6 +1034,8 @@ func (s *Sim) flushStage() {
 // front-end state: the FTQ, predictor histories, and trace cursor stay
 // put, and the flushed uops keep their fetch-request references, so replay
 // needs no re-prediction.
+//
+//smtfetch:hotpath
 func (s *Sim) flushThread(t int, u *pipeline.UOp) {
 	ts := &s.threads[t]
 	batch := s.rob.FlushYounger(t, u.GSeq, s.flushBatch[:0])
@@ -996,10 +1065,14 @@ func (s *Sim) flushThread(t int, u *pipeline.UOp) {
 	// Merge ahead of any replay remainder from an earlier flush: a new
 	// flush point is always older than previously flushed uops.
 	if rem := ts.replay[ts.replayPos:]; len(rem) > 0 {
+		//smtfetch:allowalloc replay/flushTail are pre-sized to the ROB+fetch-buffer bound at construction; appends never exceed it
 		s.flushTail = append(s.flushTail[:0], rem...)
+		//smtfetch:allowalloc replay/flushTail are pre-sized to the ROB+fetch-buffer bound at construction; appends never exceed it
 		ts.replay = append(ts.replay[:0], batch...)
+		//smtfetch:allowalloc replay/flushTail are pre-sized to the ROB+fetch-buffer bound at construction; appends never exceed it
 		ts.replay = append(ts.replay, s.flushTail...)
 	} else {
+		//smtfetch:allowalloc replay/flushTail are pre-sized to the ROB+fetch-buffer bound at construction; appends never exceed it
 		ts.replay = append(ts.replay[:0], batch...)
 	}
 	ts.replayPos = 0
@@ -1012,7 +1085,10 @@ func (s *Sim) flushThread(t int, u *pipeline.UOp) {
 // like squashed ones; redelivery cannot race that scan because the
 // long-load gate keeps the thread unfetchable for at least a full memory
 // latency.
+//
+//smtfetch:hotpath
 func (s *Sim) flushRing(r *pipeline.UOpRing, t int, gseq uint64, dst []*pipeline.UOp) []*pipeline.UOp {
+	//smtfetch:allowalloc non-escaping closure: Filter calls it inline and does not retain it (escape gate verifies)
 	r.Filter(func(v *pipeline.UOp) bool {
 		if v.Thread == t && v.GSeq > gseq && !v.Squashed && !v.Flushed {
 			v.Flushed = true
@@ -1026,6 +1102,7 @@ func (s *Sim) flushRing(r *pipeline.UOpRing, t int, gseq uint64, dst []*pipeline
 
 // ---------------------------------------------------------- predict stage
 
+//smtfetch:hotpath
 func (s *Sim) predictStage() {
 	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.policyKeys(), s.predictEligible, s.now, s.cfg.FetchPolicy.Threads)
 	s.orderBuf = order[:0]
@@ -1042,6 +1119,8 @@ func (s *Sim) predictStage() {
 // recover squashes everything younger than u on u's thread and redirects
 // the front-end. Squashed uops go to limbo, not straight to the free list:
 // execList and pendingDecode drop them lazily next cycle.
+//
+//smtfetch:hotpath
 func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 	t := u.Thread
 	ts := &s.threads[t]
@@ -1080,6 +1159,7 @@ func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 			s.dropSignals(ts, v)
 			s.st.Squashed++
 			s.st.PerThread[t].Squashed++
+			//smtfetch:allowalloc limbo lists converge to the in-flight uop bound; growth stops once the pool is warm
 			s.limboCur = append(s.limboCur, v)
 		}
 	}
@@ -1096,7 +1176,10 @@ func (s *Sim) recover(u *pipeline.UOp, penalty int) {
 
 // squashRing removes thread t's uops younger than gseq from a front-end
 // ring, marking them squashed and quarantining them in limbo.
+//
+//smtfetch:hotpath
 func (s *Sim) squashRing(r *pipeline.UOpRing, t int, gseq uint64, ts *threadState) {
+	//smtfetch:allowalloc non-escaping closure: Filter calls it inline and does not retain it (escape gate verifies)
 	r.Filter(func(v *pipeline.UOp) bool {
 		if v.Thread == t && v.GSeq > gseq && !v.Squashed {
 			v.Squashed = true

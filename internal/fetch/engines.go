@@ -12,6 +12,8 @@ import (
 // but whose cached target was stale. Everything else — wrong conditional
 // direction, wrong indirect target, wrong return address — waits for
 // execute.
+//
+//smtfetch:hotpath
 func resolveStageFor(in *isa.Instruction, predTaken bool) ftq.ResolveStage {
 	if !in.IsBranch() {
 		return ftq.ResolveDecode
@@ -33,6 +35,8 @@ func resolveStageFor(in *isa.Instruction, predTaken bool) ftq.ResolveStage {
 // seeded with the thread's speculative-state checkpoints taken before any
 // update for the branch itself. The record lives inline in the request;
 // the returned pointer is for the caller to finish filling.
+//
+//smtfetch:hotpath
 func (tf *threadFE) checkpointInfo(req *ftq.Request, i int, blockStart isa.Addr, blockInstrs int) *ftq.BranchInfo {
 	info := req.AddBranch(i)
 	info.GHR = tf.ghr
@@ -47,6 +51,8 @@ func (tf *threadFE) checkpointInfo(req *ftq.Request, i int, blockStart isa.Addr,
 // terminating branch: compare the predicted successor with the path truth,
 // set up wrong-path mode or continue, and finish the request's inline
 // BranchInfo (info already lives in req; only Resolve remains to be set).
+//
+//smtfetch:hotpath
 func (f *FrontEnd) finishBranch(tf *threadFE, in *isa.Instruction,
 	info *ftq.BranchInfo, predTaken bool, predTarget isa.Addr) {
 
@@ -81,6 +87,8 @@ func (f *FrontEnd) finishBranch(tf *threadFE, in *isa.Instruction,
 // branch's fall-through; on a wrong path the ghost is simply steered back
 // to the implicit prediction. It returns true if the block must be
 // truncated at this instruction.
+//
+//smtfetch:hotpath
 func (f *FrontEnd) embeddedDivergence(tf *threadFE, req *ftq.Request, i int, in *isa.Instruction, start isa.Addr) bool {
 	if tf.wrongPath {
 		tf.ghost.Redirect(in.FallThrough)
@@ -96,6 +104,8 @@ func (f *FrontEnd) embeddedDivergence(tf *threadFE, req *ftq.Request, i int, in 
 
 // take consumes the next instruction from the thread's current path into
 // the request's inline instruction array.
+//
+//smtfetch:hotpath
 func take(tf *threadFE, req *ftq.Request) *isa.Instruction {
 	src := tf.source()
 	in := req.Append(src.Peek(0))
@@ -106,6 +116,8 @@ func take(tf *threadFE, req *ftq.Request) *isa.Instruction {
 // predictBTB forms one fetch block for the gshare+BTB engine: the block
 // ends at the first branch on the path (one direction prediction per
 // cycle => one basic block per fetch request).
+//
+//smtfetch:hotpath
 func (f *FrontEnd) predictBTB(tf *threadFE, req *ftq.Request) {
 	start := tf.nextPC
 	req.Start, req.WrongPath = start, tf.wrongPath
@@ -159,6 +171,8 @@ func (f *FrontEnd) predictBTB(tf *threadFE, req *ftq.Request) {
 // the block runs to the entry's terminating ever-taken branch, spanning
 // embedded never-taken branches; the terminator's direction comes from
 // gskew. On a miss the front-end falls back to sequential fetch.
+//
+//smtfetch:hotpath
 func (f *FrontEnd) predictFTB(tf *threadFE, req *ftq.Request) {
 	start := tf.nextPC
 	req.Start, req.WrongPath = start, tf.wrongPath
@@ -222,6 +236,8 @@ func (f *FrontEnd) predictFTB(tf *threadFE, req *ftq.Request) {
 // predictor supplies (length, next-stream start); the block is the whole
 // stream, embedded not-taken branches included. On a miss the front-end
 // falls back to sequential fetch.
+//
+//smtfetch:hotpath
 func (f *FrontEnd) predictStream(tf *threadFE, req *ftq.Request) {
 	start := tf.nextPC
 	req.Start, req.WrongPath = start, tf.wrongPath

@@ -118,6 +118,8 @@ func New(cfg *config.Config, programs []*prog.Program, seed uint64) *FrontEnd {
 }
 
 // Queue returns thread t's FTQ.
+//
+//smtfetch:hotpath
 func (f *FrontEnd) Queue(t int) *ftq.Queue { return f.threads[t].queue }
 
 // CanPredict reports whether a prediction can be made for thread t (its
@@ -128,6 +130,8 @@ func (f *FrontEnd) CanPredict(t int) bool { return !f.threads[t].queue.Full() }
 // thread's FTQ, returning the block length in instructions (0 if no block
 // was produced). The request itself stays owned by the FTQ and the pool —
 // callers never see it, so they cannot mutate a queued block mid-flight.
+//
+//smtfetch:hotpath
 func (f *FrontEnd) Predict(t int) int {
 	tf := f.threads[t]
 	if tf.queue.Full() {
@@ -151,6 +155,8 @@ func (f *FrontEnd) Predict(t int) int {
 }
 
 // source returns the stream blocks are currently formed from.
+//
+//smtfetch:hotpath
 func (tf *threadFE) source() *prog.Stream {
 	if tf.wrongPath {
 		return tf.ghost
@@ -159,6 +165,8 @@ func (tf *threadFE) source() *prog.Stream {
 }
 
 // enterWrongPath switches the thread onto a ghost stream starting at pc.
+//
+//smtfetch:hotpath
 func (tf *threadFE) enterWrongPath(pc isa.Addr, p *prog.Stream) {
 	tf.wrongPath = true
 	tf.ghost = p
@@ -167,8 +175,11 @@ func (tf *threadFE) enterWrongPath(pc isa.Addr, p *prog.Stream) {
 
 // ghostAt positions (or creates) the thread's ghost stream at pc. The
 // ghost is reused across wrong paths to avoid per-misprediction allocation.
+//
+//smtfetch:hotpath
 func (f *FrontEnd) ghostAt(tf *threadFE, pc isa.Addr) *prog.Stream {
 	if tf.ghost == nil {
+		//smtfetch:allowcold one ghost stream per thread, built on the first misprediction and reused forever after
 		tf.ghost = tf.prog.NewStreamAt(tf.seedR.Uint64(), pc)
 	} else {
 		tf.ghost.Redirect(pc)
@@ -179,6 +190,8 @@ func (f *FrontEnd) ghostAt(tf *threadFE, pc isa.Addr) *prog.Stream {
 // Recover squashes thread t's front-end after the branch carrying info
 // resolved: the FTQ is cleared, speculative predictor state is restored and
 // corrected with the actual outcome, and fetching resumes at nextPC.
+//
+//smtfetch:hotpath
 func (f *FrontEnd) Recover(t int, info *ftq.BranchInfo, actual *isa.Instruction, nextPC isa.Addr) {
 	tf := f.threads[t]
 	tf.queue.Clear()
@@ -211,6 +224,7 @@ func (f *FrontEnd) Recover(t int, info *ftq.BranchInfo, actual *isa.Instruction,
 	}
 }
 
+//smtfetch:hotpath
 func b2u(b bool) uint64 {
 	if b {
 		return 1
@@ -223,6 +237,8 @@ func b2u(b bool) uint64 {
 // committed instruction, info its prediction metadata (may be nil for
 // branches the front-end never predicted explicitly, e.g. embedded
 // never-taken branches).
+//
+//smtfetch:hotpath
 func (f *FrontEnd) CommitBranch(t int, in *isa.Instruction, info *ftq.BranchInfo) {
 	switch f.engine {
 	case config.GShareBTB:
@@ -277,6 +293,11 @@ func (f *FrontEnd) PoolStats(t int) (allocated, free int) {
 // twice on a free list, and every queued request must be live. It exists
 // for tests; the pool itself enforces the same properties with panics on
 // each transition.
+//
+// The transient request-set maps below make this an owner by annotation:
+// it audits the pool, so it must be allowed to enumerate pooled objects.
+//
+//smtfetch:poolowner
 func (f *FrontEnd) CheckPoolInvariants(extraLive ...*ftq.Request) error {
 	pinned := make(map[*ftq.Request]bool, len(extraLive))
 	for _, r := range extraLive {

@@ -27,6 +27,8 @@ import (
 // keeps both stages allocation-free; the sort is a stable insertion sort
 // (thread counts are tiny), which matches sort.SliceStable's ordering
 // exactly while avoiding its closure and reflection costs.
+//
+//smtfetch:hotpath
 func PrioritizeInto(dst []int, policy config.Policy, keys []int, eligible func(t int) bool, cycle uint64, max int) []int {
 	n := len(keys)
 	dst = dst[:0]
@@ -34,6 +36,7 @@ func PrioritizeInto(dst []int, policy config.Policy, keys []int, eligible func(t
 	for i := 0; i < n; i++ {
 		t := (i + rot) % n
 		if eligible(t) {
+			//smtfetch:allowalloc dst is the caller's reused scratch, pre-sized to the thread count
 			dst = append(dst, t)
 		}
 	}

@@ -120,15 +120,21 @@ type Request struct {
 }
 
 // Len returns the number of instructions in the block.
+//
+//smtfetch:hotpath
 func (r *Request) Len() int { return r.n }
 
 // Instr returns the i-th instruction of the block.
+//
+//smtfetch:hotpath
 func (r *Request) Instr(i int) *isa.Instruction { return &r.instrs[i] }
 
 // Branch returns instruction i's prediction metadata, or nil when it
 // carries none (or i is out of range — reset is O(1), so stale index
 // slots beyond Len are never valid). The pointer stays valid while the
 // caller holds a reference on the request.
+//
+//smtfetch:hotpath
 func (r *Request) Branch(i int) *BranchInfo {
 	if i < r.n {
 		if k := r.brIdx[i]; k != 0 {
@@ -139,6 +145,8 @@ func (r *Request) Branch(i int) *BranchInfo {
 }
 
 // Append copies in into the block and returns the stored copy.
+//
+//smtfetch:hotpath
 func (r *Request) Append(in *isa.Instruction) *isa.Instruction {
 	if r.n >= MaxInstrs {
 		panic("ftq: fetch block overflows MaxInstrs")
@@ -152,6 +160,8 @@ func (r *Request) Append(in *isa.Instruction) *isa.Instruction {
 
 // AddBranch attaches a zeroed BranchInfo to instruction i and returns it
 // for the caller to fill in place.
+//
+//smtfetch:hotpath
 func (r *Request) AddBranch(i int) *BranchInfo {
 	if r.brIdx[i] != 0 {
 		panic("ftq: instruction already carries branch metadata")
@@ -167,9 +177,13 @@ func (r *Request) AddBranch(i int) *BranchInfo {
 }
 
 // Remaining returns the number of instructions not yet delivered.
+//
+//smtfetch:hotpath
 func (r *Request) Remaining() int { return r.n - r.Consumed }
 
 // NextPC returns the address of the next undelivered instruction.
+//
+//smtfetch:hotpath
 func (r *Request) NextPC() isa.Addr {
 	return r.instrs[r.Consumed].PC
 }
@@ -185,6 +199,8 @@ func (r *Request) Refs() int { return int(r.refs) }
 func (r *Request) Epoch() uint64 { return r.epoch }
 
 // Retain adds a reference. Only live requests may be retained.
+//
+//smtfetch:hotpath
 func (r *Request) Retain() {
 	if r.pooled {
 		panic("ftq: Retain on a pooled request")
@@ -193,6 +209,8 @@ func (r *Request) Retain() {
 }
 
 // Release drops a reference; the last one returns the request to its pool.
+//
+//smtfetch:hotpath
 func (r *Request) Release() {
 	if r.pooled {
 		panic("ftq: Release on a pooled request (double free)")
@@ -203,6 +221,7 @@ func (r *Request) Release() {
 	r.refs--
 	if r.refs == 0 {
 		r.pooled = true
+		//smtfetch:allowalloc pool free-list capacity converges to the allocated request population
 		r.pool.free = append(r.pool.free, r)
 	}
 }
@@ -230,6 +249,8 @@ const slabSize = 16
 func NewPool() *Pool { return &Pool{} }
 
 // Get returns a reset, live request with one reference, owned by thread.
+//
+//smtfetch:hotpath
 func (p *Pool) Get(thread int) *Request {
 	var r *Request
 	if n := len(p.free); n > 0 {
@@ -241,6 +262,7 @@ func (p *Pool) Get(thread int) *Request {
 		}
 	} else {
 		if len(p.slab) == 0 {
+			//smtfetch:allowalloc slab growth: one heap allocation per slabSize requests, only while the working set still grows
 			p.slab = make([]Request, slabSize)
 		}
 		r = &p.slab[0]
@@ -298,13 +320,19 @@ func New(capacity int) *Queue {
 func (q *Queue) Cap() int { return len(q.reqs) }
 
 // Len returns the number of queued requests.
+//
+//smtfetch:hotpath
 func (q *Queue) Len() int { return q.n }
 
 // Full reports whether the queue is at capacity.
+//
+//smtfetch:hotpath
 func (q *Queue) Full() bool { return q.n >= len(q.reqs) }
 
 // Push appends a request, taking over the caller's reference; it reports
 // false (and leaves the reference with the caller) if the queue is full.
+//
+//smtfetch:hotpath
 func (q *Queue) Push(r *Request) bool {
 	if q.Full() {
 		return false
@@ -317,6 +345,8 @@ func (q *Queue) Push(r *Request) bool {
 }
 
 // Head returns the oldest request, or nil when empty.
+//
+//smtfetch:hotpath
 func (q *Queue) Head() *Request {
 	if q.n == 0 {
 		return nil
@@ -330,6 +360,8 @@ func (q *Queue) Head() *Request {
 
 // PopHead removes the oldest request (after the fetch stage fully consumed
 // it) and drops the queue's reference on it.
+//
+//smtfetch:hotpath
 func (q *Queue) PopHead() {
 	if q.n == 0 {
 		return
@@ -342,6 +374,8 @@ func (q *Queue) PopHead() {
 }
 
 // Clear empties the queue (front-end squash), releasing every request.
+//
+//smtfetch:hotpath
 func (q *Queue) Clear() {
 	for q.n > 0 {
 		q.PopHead()

@@ -97,6 +97,8 @@ func (k BranchKind) String() string {
 }
 
 // IsBranch reports whether the kind is a control transfer.
+//
+//smtfetch:hotpath
 func (k BranchKind) IsBranch() bool { return k != NotBranch }
 
 // Instruction is one dynamic instruction. Register dependences are encoded
@@ -134,9 +136,13 @@ type Instruction struct {
 }
 
 // IsBranch reports whether the instruction is a control transfer.
+//
+//smtfetch:hotpath
 func (in *Instruction) IsBranch() bool { return in.Class == Branch }
 
 // NextPC returns the address of the next dynamic instruction on this path.
+//
+//smtfetch:hotpath
 func (in *Instruction) NextPC() Addr {
 	if in.Class == Branch && in.Taken {
 		return in.Target

@@ -1,0 +1,40 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smtfetch/internal/lint"
+	"smtfetch/internal/lint/driver"
+)
+
+// TestCleanTree runs the full analyzer suite over the real module through
+// the standalone driver, exactly like `smtfetch-lint ./...`: the
+// checked-in tree must produce zero diagnostics. Any new violation of the
+// pooling, zero-alloc, or determinism invariants fails this test before
+// it ever reaches CI.
+func TestCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s has no go.mod: %v", root, err)
+	}
+	prog, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := prog.Run(lint.Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

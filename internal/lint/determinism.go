@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// Determinism enforces bit-identical reproducibility in the simulator
+// packages: equal (config, workload, seed) must produce a byte-identical
+// result document — the content-keyed result cache and the CI compare
+// gates are built on that guarantee.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid nondeterministic inputs and scheduling in simulator packages\n\n" +
+		"Simulator packages may not read wall clocks (time.Now and friends),\n" +
+		"global math/rand state, or the process environment (importing os,\n" +
+		"syscall, net, or os/exec at all is flagged); may not launch\n" +
+		"goroutines or select over channels; and may not range over maps\n" +
+		"except at sites annotated //smtfetch:commutative with a proof\n" +
+		"sketch. Seeded *rand.Rand instances are fine: they are part of the\n" +
+		"reproducible input.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runDeterminism,
+}
+
+// bannedImports are packages whose mere import into simulator code smells
+// of environment access or I/O that the result document must not depend
+// on. Keyed by exact path or by "prefix/" meaning the whole subtree.
+var bannedImports = []string{
+	"os", "os/", "syscall", "io/ioutil", "net", "net/",
+}
+
+// nondetTimeFuncs are the wall-clock entry points of package time.
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func importBanned(path string) bool {
+	for _, b := range bannedImports {
+		if strings.HasSuffix(b, "/") {
+			if strings.HasPrefix(path, b) {
+				return true
+			}
+		} else if path == b {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(pass *analysis.Pass) (interface{}, error) {
+	if !simPackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	dirs := collectDirectives(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.ImportSpec)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.GoStmt)(nil),
+		(*ast.SelectStmt)(nil),
+		(*ast.RangeStmt)(nil),
+	}
+	ins.Preorder(nodeFilter, func(n ast.Node) {
+		if isTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			path, err := strconv.Unquote(n.Path.Value)
+			if err == nil && importBanned(path) {
+				pass.Reportf(n.Pos(), "simulator package imports %q: environment and I/O access breaks bit-identical determinism (move it behind the experiment/server layers)", path)
+			}
+		case *ast.CallExpr:
+			fn, ok := typeutil.Callee(pass.TypesInfo, n).(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			isMethod := sig != nil && sig.Recv() != nil
+			switch fn.Pkg().Path() {
+			case "time":
+				if !isMethod && nondetTimeFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "time.%s in a simulator package: wall-clock reads break bit-identical determinism (cycle counts are the only clock)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on an explicitly seeded *rand.Rand are
+				// reproducible inputs; the package-level functions share
+				// unseeded (or process-global) state. Constructors are
+				// how you obtain the seeded generator.
+				if !isMethod && !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(n.Pos(), "%s.%s uses global math/rand state: derive randomness from an explicitly seeded *rand.Rand owned by the simulation", pathBase(fn.Pkg().Path()), fn.Name())
+				}
+			}
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in a simulator package: scheduling order is not reproducible; parallelism belongs in the experiment layer above the simulator")
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select in a simulator package: case choice is randomized by the runtime and breaks determinism")
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[n.X]
+			if !ok {
+				return
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return
+			}
+			if dirs.lineHas(n.Pos(), dirCommutative) {
+				return
+			}
+			pass.Reportf(n.Pos(), "range over map in a simulator package: iteration order is randomized; sort the keys, use a slice, or annotate the site %s%s with a commutativity argument", directivePrefix, dirCommutative)
+		}
+	})
+	return nil, nil
+}

@@ -1,0 +1,299 @@
+// Package driver loads Go packages from source and runs go/analysis
+// analyzers over them, without depending on go/packages (which is not
+// vendored with the toolchain). It shells out to `go list -json -deps`
+// for build-system metadata, type-checks the dependency graph from source
+// (function bodies ignored outside the analyzed set, so the whole stdlib
+// closure stays cheap), and implements the analysis.Pass contract
+// including in-memory object/package facts across module packages.
+//
+// It exists to make `smtfetch-lint ./...` work standalone; under
+// `go vet -vettool` the same analyzers run through the x/tools
+// unitchecker instead, which handles facts via .vetx files.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Diagnostic is one analyzer finding, with a resolved position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// pkg is one loaded package.
+type pkg struct {
+	meta  *listPackage
+	types *types.Package
+	files []*ast.File // populated for analyzed packages only
+	info  *types.Info // populated for analyzed packages only
+	facts map[reflect.Type][]analysis.Fact
+}
+
+// Program is a loaded package graph ready for analysis.
+type Program struct {
+	fset     *token.FileSet
+	byPath   map[string]*pkg
+	order    []*pkg // dependency order (deps before dependents)
+	analyzed []*pkg // the packages matched by the load patterns
+	sizes    types.Sizes
+
+	objFacts map[types.Object]map[reflect.Type]analysis.Fact
+	pkgFacts map[*types.Package]map[reflect.Type]analysis.Fact
+}
+
+// Load lists patterns (e.g. "./...") in dir and type-checks the matched
+// packages plus their dependency closure from source.
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// cgo-free loading: with CGO_ENABLED=0 every stdlib package resolves
+	// to its pure-Go file set, which go/types can check from source.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	prog := &Program{
+		fset:     token.NewFileSet(),
+		byPath:   make(map[string]*pkg),
+		sizes:    types.SizesFor("gc", runtime.GOARCH),
+		objFacts: make(map[types.Object]map[reflect.Type]analysis.Fact),
+		pkgFacts: make(map[*types.Package]map[reflect.Type]analysis.Fact),
+	}
+
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		meta := new(listPackage)
+		if err := dec.Decode(meta); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if meta.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", meta.ImportPath, meta.Error.Err)
+		}
+		p := &pkg{meta: meta}
+		prog.byPath[meta.ImportPath] = p
+		prog.order = append(prog.order, p)
+	}
+
+	// -deps emits a depth-first post-order: every package appears after
+	// its dependencies, so a single forward sweep can type-check.
+	for _, p := range prog.order {
+		if err := prog.check(p); err != nil {
+			return nil, err
+		}
+		if !p.meta.DepOnly {
+			prog.analyzed = append(prog.analyzed, p)
+		}
+	}
+	return prog, nil
+}
+
+// check type-checks one package from source.
+func (prog *Program) check(p *pkg) error {
+	if p.meta.ImportPath == "unsafe" {
+		p.types = types.Unsafe
+		return nil
+	}
+	full := !p.meta.DepOnly // analyzed packages keep bodies, comments, info
+
+	mode := parser.SkipObjectResolution
+	if full {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range p.meta.GoFiles {
+		f, err := parser.ParseFile(prog.fset, filepath.Join(p.meta.Dir, name), nil, mode)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %v", p.meta.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+	}
+	conf := types.Config{
+		Importer:         importerFunc(func(path string) (*types.Package, error) { return prog.importPkg(path) }),
+		IgnoreFuncBodies: !full,
+		Sizes:            prog.sizes,
+		Error: func(err error) {
+			// collected through the returned error below; keep going so
+			// one error does not mask the rest of the package
+		},
+	}
+	tpkg, err := conf.Check(p.meta.ImportPath, prog.fset, files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %v", p.meta.ImportPath, err)
+	}
+	p.types = tpkg
+	if full {
+		p.files = files
+		p.info = info
+	}
+	return nil
+}
+
+func (prog *Program) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := prog.byPath[path]; ok && p.types != nil {
+		return p.types, nil
+	}
+	// Stdlib-vendored dependencies (e.g. golang.org/x/net under net) are
+	// listed by the go command under a "vendor/" prefix but imported by
+	// their plain path.
+	if p, ok := prog.byPath["vendor/"+path]; ok && p.types != nil {
+		return p.types, nil
+	}
+	return nil, fmt.Errorf("package %q not in the loaded dependency graph", path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Run executes the analyzers (and their requirements) over every loaded
+// non-dependency package, in dependency order so facts flow forward.
+// Diagnostics come back sorted by position.
+func (prog *Program) Run(analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, p := range prog.analyzed {
+		results := make(map[*analysis.Analyzer]interface{})
+		for _, a := range analyzers {
+			if err := prog.runAnalyzer(a, p, results, &diags); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func (prog *Program) runAnalyzer(a *analysis.Analyzer, p *pkg, results map[*analysis.Analyzer]interface{}, diags *[]Diagnostic) error {
+	if _, done := results[a]; done {
+		return nil
+	}
+	for _, req := range a.Requires {
+		if err := prog.runAnalyzer(req, p, results, diags); err != nil {
+			return err
+		}
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       prog.fset,
+		Files:      p.files,
+		Pkg:        p.types,
+		TypesInfo:  p.info,
+		TypesSizes: prog.sizes,
+		ResultOf:   results,
+		ReadFile:   os.ReadFile,
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, Diagnostic{
+				Pos:      prog.fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		},
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return readFact(prog.objFacts[obj], fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			if prog.objFacts[obj] == nil {
+				prog.objFacts[obj] = make(map[reflect.Type]analysis.Fact)
+			}
+			prog.objFacts[obj][reflect.TypeOf(fact)] = fact
+		},
+		ImportPackageFact: func(tp *types.Package, fact analysis.Fact) bool {
+			return readFact(prog.pkgFacts[tp], fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			if prog.pkgFacts[p.types] == nil {
+				prog.pkgFacts[p.types] = make(map[reflect.Type]analysis.Fact)
+			}
+			prog.pkgFacts[p.types][reflect.TypeOf(fact)] = fact
+		},
+		AllObjectFacts:  func() []analysis.ObjectFact { return nil },
+		AllPackageFacts: func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("%s on %s: %v", a.Name, p.meta.ImportPath, err)
+	}
+	results[a] = res
+	return nil
+}
+
+// readFact copies a stored fact of fact's concrete type into fact.
+func readFact(m map[reflect.Type]analysis.Fact, fact analysis.Fact) bool {
+	if m == nil {
+		return false
+	}
+	stored, ok := m[reflect.TypeOf(fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}

@@ -1,0 +1,310 @@
+// Package escape implements the escape-analysis gate: the static
+// zeroalloc analyzer forbids allocating *constructs*, and this gate
+// cross-checks the compiler's real verdicts, so a construct the analyzer
+// cannot see (or a justified //smtfetch:allowalloc site that grew a new
+// escape) still cannot land silently.
+//
+// It runs `go build -gcflags=-m` over the hot-path packages, keeps every
+// "escapes to heap" / "moved to heap" diagnostic that falls inside a
+// //smtfetch:hotpath function, and diffs the resulting set against a
+// checked-in allowlist. Both directions are strict: a new hot escape
+// fails the gate, and a stale allowlist entry fails it too, so the
+// allowlist always describes exactly the compiler's current behavior.
+package escape
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultAllowlist is the checked-in allowlist path, relative to the
+// module root.
+const DefaultAllowlist = "internal/lint/escape/allowlist.txt"
+
+// HotPackages are the package patterns the repo-level gate scans: the
+// packages reachable from core.Cycle.
+var HotPackages = []string{
+	"./internal/core",
+	"./internal/cache",
+	"./internal/fetch",
+	"./internal/bpred",
+	"./internal/pipeline",
+	"./internal/ftq",
+	"./internal/prog",
+	"./internal/isa",
+	"./internal/stats",
+}
+
+// Finding is one compiler escape diagnostic inside a hotpath function.
+type Finding struct {
+	File    string // path as printed by the compiler, slash-normalized
+	Func    string // enclosing hotpath function name
+	Message string // compiler message, e.g. "&Big{...} escapes to heap"
+}
+
+// Key is the canonical allowlist form: file, function and message joined
+// by tabs. Line numbers are deliberately excluded so unrelated edits to
+// the same file do not churn the allowlist.
+func (f Finding) Key() string {
+	return f.File + "\t" + f.Func + "\t" + f.Message
+}
+
+// Gate runs the escape gate for patterns inside module directory dir and
+// writes a report to w. A nil error means the gate passed. An empty
+// allowlist path loads DefaultAllowlist under dir (a missing default file
+// is treated as an empty allowlist, so a repo without exceptions needs no
+// file).
+func Gate(w io.Writer, dir, allowlistPath string, patterns ...string) error {
+	if len(patterns) == 0 {
+		patterns = HotPackages
+	}
+	explicit := allowlistPath != ""
+	if !explicit {
+		allowlistPath = filepath.Join(dir, filepath.FromSlash(DefaultAllowlist))
+	}
+	allowed, err := readAllowlist(allowlistPath, explicit)
+	if err != nil {
+		return err
+	}
+
+	findings, err := Analyze(dir, patterns...)
+	if err != nil {
+		return err
+	}
+
+	seen := make(map[string]bool, len(findings))
+	var violations []Finding
+	for _, f := range findings {
+		seen[f.Key()] = true
+		if !allowed[f.Key()] {
+			violations = append(violations, f)
+		}
+	}
+	var stale []string
+	for key := range allowed {
+		if !seen[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+
+	fmt.Fprintf(w, "escape gate: %d hot escape(s), %d allowlisted, %d violation(s), %d stale allowlist entr(ies)\n",
+		len(findings), len(allowed), len(violations), len(stale))
+	for _, f := range violations {
+		fmt.Fprintf(w, "  NEW: %s: %s escapes in hotpath %s\n", f.File, f.Message, f.Func)
+	}
+	for _, key := range stale {
+		fmt.Fprintf(w, "  STALE: %s\n", strings.ReplaceAll(key, "\t", " "))
+	}
+
+	if len(violations) > 0 || len(stale) > 0 {
+		return fmt.Errorf("escape gate failed: %d new hot escape(s), %d stale allowlist entr(ies); update %s only with a justified entry",
+			len(violations), len(stale), allowlistPath)
+	}
+	return nil
+}
+
+// Analyze compiles patterns with -gcflags=-m in dir and returns the
+// escape diagnostics located inside //smtfetch:hotpath functions, sorted
+// by key. The go command replays cached compiler diagnostics, so repeated
+// runs are cheap and complete.
+func Analyze(dir string, patterns ...string) ([]Finding, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out.String())
+	}
+
+	hot := newHotIndex(dir)
+	var findings []Finding
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		file, lineNo, msg, ok := splitDiag(line)
+		if !ok {
+			continue
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		// String constants escape only by being boxed into an interface
+		// (panic and fmt arguments). zeroalloc already rejects every
+		// non-panic boxing construct in hotpath code, so a surviving
+		// string-constant escape is on a panic path: the simulator is
+		// already dead when it allocates. The same goes for anything
+		// inside a panic(...) call's source range (e.g. Sprintf
+		// arguments), which the gate resolves below.
+		if strings.HasPrefix(msg, `"`) {
+			continue
+		}
+		fn, isHot, inPanic, err := hot.enclosingHotFunc(file, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if !isHot || inPanic {
+			continue
+		}
+		findings = append(findings, Finding{
+			File:    filepath.ToSlash(file),
+			Func:    fn,
+			Message: msg,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].Key() < findings[j].Key() })
+	return findings, nil
+}
+
+// splitDiag parses "file.go:12:34: message".
+func splitDiag(line string) (file string, lineNo int, msg string, ok bool) {
+	i := strings.Index(line, ".go:")
+	if i < 0 {
+		return "", 0, "", false
+	}
+	file = line[:i+3]
+	rest := line[i+4:]
+	parts := strings.SplitN(rest, ":", 3)
+	if len(parts) != 3 {
+		return "", 0, "", false
+	}
+	n, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return "", 0, "", false
+	}
+	return file, n, strings.TrimSpace(parts[2]), true
+}
+
+// hotIndex caches, per file, the line ranges of //smtfetch:hotpath
+// functions and of panic(...) calls.
+type hotIndex struct {
+	dir   string
+	files map[string]*fileRanges
+}
+
+type fileRanges struct {
+	hot    []hotRange
+	panics []hotRange // name unused
+}
+
+type hotRange struct {
+	name       string
+	start, end int
+}
+
+func newHotIndex(dir string) *hotIndex {
+	return &hotIndex{dir: dir, files: make(map[string]*fileRanges)}
+}
+
+func (h *hotIndex) enclosingHotFunc(file string, line int) (fn string, isHot, inPanic bool, err error) {
+	ranges, ok := h.files[file]
+	if !ok {
+		ranges, err = rangesOf(filepath.Join(h.dir, file))
+		if err != nil {
+			return "", false, false, err
+		}
+		h.files[file] = ranges
+	}
+	for _, r := range ranges.hot {
+		if r.start <= line && line <= r.end {
+			fn, isHot = r.name, true
+			break
+		}
+	}
+	for _, r := range ranges.panics {
+		if r.start <= line && line <= r.end {
+			inPanic = true
+			break
+		}
+	}
+	return fn, isHot, inPanic, nil
+}
+
+func rangesOf(path string) (*fileRanges, error) {
+	fset := token.NewFileSet()
+	ranges := &fileRanges{}
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// A file the compiler saw but we cannot (e.g. generated into
+			// the build cache): nothing there is annotated.
+			return ranges, nil
+		}
+		return nil, err
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if c.Text == "//smtfetch:hotpath" || strings.HasPrefix(c.Text, "//smtfetch:hotpath ") {
+				ranges.hot = append(ranges.hot, hotRange{
+					name:  fd.Name.Name,
+					start: fset.Position(fd.Pos()).Line,
+					end:   fset.Position(fd.End()).Line,
+				})
+				break
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			ranges.panics = append(ranges.panics, hotRange{
+				start: fset.Position(call.Pos()).Line,
+				end:   fset.Position(call.End()).Line,
+			})
+		}
+		return true
+	})
+	return ranges, nil
+}
+
+// readAllowlist loads the allowlist: one Key() per line, tab- or
+// double-space-separated, '#' comments and blank lines ignored.
+func readAllowlist(path string, mustExist bool) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) && !mustExist {
+			return map[string]bool{}, nil
+		}
+		return nil, fmt.Errorf("reading escape allowlist: %v", err)
+	}
+	allowed := make(map[string]bool)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("escape allowlist %s: malformed line %q (want file<TAB>func<TAB>message)", path, line)
+		}
+		allowed[strings.Join(fields, "\t")] = true
+	}
+	return allowed, nil
+}

@@ -1,0 +1,157 @@
+package escape
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot returns the repo root; this test file lives at
+// internal/lint/escape, three levels below it.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := filepath.Abs(filepath.Join(wd, "..", "..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root %s has no go.mod: %v", root, err)
+	}
+	return root
+}
+
+const fixturePattern = "./internal/lint/escape/testdata/escapefixture"
+
+func writeAllowlist(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "allowlist.txt")
+	content := "# test allowlist\n" + strings.Join(lines, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAnalyzeFixture pins down what the gate extracts from the compiler:
+// the hot escape is found and attributed to the hotpath function, and the
+// identical escape in the unannotated function is ignored.
+func TestAnalyzeFixture(t *testing.T) {
+	findings, err := Analyze(moduleRoot(t), fixturePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want exactly 1 hot escape in fixture, got %d: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Func != "LeakHot" {
+		t.Errorf("escape attributed to %q, want LeakHot", f.Func)
+	}
+	if !strings.Contains(f.Message, "heap") {
+		t.Errorf("message %q does not mention the heap", f.Message)
+	}
+	if f.File != "internal/lint/escape/testdata/escapefixture/fixture.go" {
+		t.Errorf("unexpected file %q", f.File)
+	}
+}
+
+// TestGateFailsOnUnlistedEscape is the mutation half of the gate
+// contract: a known heap escape in a hotpath function must fail against
+// an empty allowlist.
+func TestGateFailsOnUnlistedEscape(t *testing.T) {
+	var out bytes.Buffer
+	err := Gate(&out, moduleRoot(t), writeAllowlist(t), fixturePattern)
+	if err == nil {
+		t.Fatalf("gate passed with an empty allowlist; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "LeakHot") {
+		t.Errorf("report does not name the offending function:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "NEW:") {
+		t.Errorf("report does not mark the escape as NEW:\n%s", out.String())
+	}
+}
+
+// TestGatePassesWithAllowlistedEscape: the same fixture passes once its
+// escape is recorded, proving the allowlist matches by key.
+func TestGatePassesWithAllowlistedEscape(t *testing.T) {
+	root := moduleRoot(t)
+	findings, err := Analyze(root, fixturePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, f := range findings {
+		keys = append(keys, f.Key())
+	}
+	var out bytes.Buffer
+	if err := Gate(&out, root, writeAllowlist(t, keys...), fixturePattern); err != nil {
+		t.Fatalf("gate failed despite allowlisted escape: %v\n%s", err, out.String())
+	}
+}
+
+// TestGateFailsOnStaleEntry: an allowlist entry the compiler no longer
+// reports is an error, so the file cannot rot.
+func TestGateFailsOnStaleEntry(t *testing.T) {
+	root := moduleRoot(t)
+	findings, err := Analyze(root, fixturePattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"internal/lint/escape/testdata/escapefixture/fixture.go\tGone\tx escapes to heap"}
+	for _, f := range findings {
+		keys = append(keys, f.Key())
+	}
+	var out bytes.Buffer
+	err = Gate(&out, root, writeAllowlist(t, keys...), fixturePattern)
+	if err == nil {
+		t.Fatalf("gate passed with a stale allowlist entry; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "STALE:") {
+		t.Errorf("report does not mark the entry as STALE:\n%s", out.String())
+	}
+}
+
+// TestGateCleanTree runs the real gate exactly as CI does: the simulator
+// hot path must have no unlisted escapes.
+func TestGateCleanTree(t *testing.T) {
+	var out bytes.Buffer
+	if err := Gate(&out, moduleRoot(t), ""); err != nil {
+		t.Fatalf("escape gate fails on the clean tree: %v\n%s", err, out.String())
+	}
+}
+
+func TestSplitDiag(t *testing.T) {
+	cases := []struct {
+		line   string
+		file   string
+		lineNo int
+		msg    string
+		ok     bool
+	}{
+		{"internal/ftq/ftq.go:123:6: &b escapes to heap", "internal/ftq/ftq.go", 123, "&b escapes to heap", true},
+		{"a/b.go:7:2: moved to heap: x", "a/b.go", 7, "moved to heap: x", true},
+		{"# smtfetch/internal/core", "", 0, "", false},
+		{"can inline helper", "", 0, "", false},
+	}
+	for _, c := range cases {
+		file, n, msg, ok := splitDiag(c.line)
+		if ok != c.ok || file != c.file || n != c.lineNo || msg != c.msg {
+			t.Errorf("splitDiag(%q) = %q,%d,%q,%v; want %q,%d,%q,%v",
+				c.line, file, n, msg, ok, c.file, c.lineNo, c.msg, c.ok)
+		}
+	}
+}
+
+func TestReadAllowlistRejectsMalformed(t *testing.T) {
+	path := writeAllowlist(t, "not a tab separated entry")
+	if _, err := readAllowlist(path, true); err == nil {
+		t.Error("malformed allowlist line accepted")
+	}
+}

@@ -1,0 +1,45 @@
+// Package escapefixture is a buildable fixture for the escape gate
+// tests. It lives under testdata so ./... patterns never match it, but it
+// compiles when named by explicit path, which is how the tests feed it to
+// `go build -gcflags=-m`.
+package escapefixture
+
+// Big is large enough that the compiler always heap-allocates it when its
+// address leaves the frame.
+type Big struct {
+	Payload [1024]uint64
+}
+
+var sink *Big
+
+// LeakHot returns a pointer to a local, a guaranteed "escapes to heap" in
+// a hotpath function: the gate must flag it against an empty allowlist.
+//
+//smtfetch:hotpath
+func LeakHot() *Big {
+	b := Big{}
+	b.Payload[0] = 1
+	return &b
+}
+
+// LeakCold has the identical escape but is not annotated, so the gate
+// must ignore it.
+func LeakCold() *Big {
+	b := Big{}
+	b.Payload[0] = 2
+	return &b
+}
+
+// StayHot is hotpath and escape-free.
+//
+//smtfetch:hotpath
+func StayHot(b *Big) uint64 {
+	return b.Payload[0]
+}
+
+// Keep makes the results observable so nothing is optimized away.
+func Keep() {
+	sink = LeakHot()
+	sink = LeakCold()
+	_ = StayHot(sink)
+}

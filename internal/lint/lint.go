@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full smtfetch analyzer suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{PoolOwn, ZeroAlloc, Determinism}
+}
+
+// simPackages are the packages whose code determines simulated behavior.
+// determinism applies to all of them; zeroalloc's call-graph closure rule
+// treats any callee inside one of them as required-to-be-hotpath.
+var simPackages = map[string]bool{
+	"smtfetch/internal/core":     true,
+	"smtfetch/internal/cache":    true,
+	"smtfetch/internal/fetch":    true,
+	"smtfetch/internal/bpred":    true,
+	"smtfetch/internal/pipeline": true,
+	"smtfetch/internal/ftq":      true,
+	"smtfetch/internal/prog":     true,
+	"smtfetch/internal/isa":      true,
+	"smtfetch/internal/stats":    true,
+}
+
+// pooledTypes names the pool-managed types, keyed by defining package
+// path. Constructing one of these outside its pool machinery, or
+// retaining a pointer to one outside an annotated owner structure, is a
+// poolown violation.
+var pooledTypes = map[string]map[string]bool{
+	"smtfetch/internal/pipeline": {"UOp": true},
+	"smtfetch/internal/ftq":      {"Request": true},
+}
+
+// Directive names (the text after "//smtfetch:").
+const (
+	dirHotpath     = "hotpath"
+	dirPoolOwner   = "poolowner"
+	dirAllowAlloc  = "allowalloc"
+	dirAllowCold   = "allowcold"
+	dirCommutative = "commutative"
+)
+
+const directivePrefix = "//smtfetch:"
+
+// directives indexes every //smtfetch: comment directive of one package:
+// by declaration (for hotpath/poolowner) and by file line (for the
+// allowalloc/allowcold/commutative escape hatches).
+type directives struct {
+	fset *token.FileSet
+	// decl maps a FuncDecl or TypeSpec node to its directive names.
+	decl map[ast.Node]map[string]bool
+	// line maps filename:line to the directive names present on that
+	// line (either as a standalone comment line or trailing a statement).
+	line map[string]map[string]bool
+}
+
+func lineKey(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return p.Filename + ":" + itoa(p.Line)
+}
+
+// itoa avoids strconv for a tiny hot helper (and keeps imports minimal).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// parseDirective returns the directive name and whether the comment line
+// is an smtfetch directive at all. A reasoned directive like
+// "//smtfetch:allowalloc pre-sized to ROB bound" yields "allowalloc".
+func parseDirective(text string) (name string, reason string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	rest := text[len(directivePrefix):]
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return rest[:i], strings.TrimSpace(rest[i:]), true
+	}
+	return rest, "", true
+}
+
+// reasonRequired lists directives that must carry a justification.
+var reasonRequired = map[string]bool{
+	dirAllowAlloc:  true,
+	dirAllowCold:   true,
+	dirCommutative: true,
+}
+
+// collectDirectives scans the package once. Malformed directives (unknown
+// name, or a missing reason where one is mandatory) are reported
+// immediately so a typo cannot silently disable a check.
+func collectDirectives(pass *analysis.Pass) *directives {
+	d := &directives{
+		fset: pass.Fset,
+		decl: make(map[ast.Node]map[string]bool),
+		line: make(map[string]map[string]bool),
+	}
+	known := map[string]bool{
+		dirHotpath: true, dirPoolOwner: true,
+		dirAllowAlloc: true, dirAllowCold: true, dirCommutative: true,
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if !known[name] {
+					pass.Reportf(c.Pos(), "unknown smtfetch directive %q", directivePrefix+name)
+					continue
+				}
+				if reasonRequired[name] && reason == "" {
+					pass.Reportf(c.Pos(), "%s%s requires a justification after the directive name", directivePrefix, name)
+					continue
+				}
+				key := lineKey(pass.Fset, c.Pos())
+				if d.line[key] == nil {
+					d.line[key] = make(map[string]bool)
+				}
+				d.line[key][name] = true
+			}
+		}
+		// Attach doc-comment directives to their declarations.
+		for _, decl := range f.Decls {
+			switch n := decl.(type) {
+			case *ast.FuncDecl:
+				d.attachDoc(n, n.Doc)
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					// A directive may sit on the GenDecl ("type ( ... )"
+					// block doc) only for single-spec decls; otherwise it
+					// must be on the TypeSpec itself.
+					doc := ts.Doc
+					if doc == nil && len(n.Specs) == 1 {
+						doc = n.Doc
+					}
+					d.attachDoc(ts, doc)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *directives) attachDoc(node ast.Node, doc *ast.CommentGroup) {
+	if doc == nil {
+		return
+	}
+	for _, c := range doc.List {
+		name, _, ok := parseDirective(c.Text)
+		if !ok {
+			continue
+		}
+		if d.decl[node] == nil {
+			d.decl[node] = make(map[string]bool)
+		}
+		d.decl[node][name] = true
+	}
+}
+
+// declHas reports whether node carries the named declaration directive.
+func (d *directives) declHas(node ast.Node, name string) bool {
+	return d.decl[node][name]
+}
+
+// lineHas reports whether the named line directive is present on the
+// node's own line or the line immediately above it (the two conventional
+// placements for an escape-hatch comment).
+func (d *directives) lineHas(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	if d.line[p.Filename+":"+itoa(p.Line)][name] {
+		return true
+	}
+	return p.Line > 1 && d.line[p.Filename+":"+itoa(p.Line-1)][name]
+}
+
+// isTestFile reports whether pos is inside a _test.go file. Tests build
+// pool fixtures and use randomness deliberately; the runtime identity
+// checks still guard them, so all three analyzers skip test files.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// fileOf returns the *ast.File of pass.Files containing pos.
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+// Package linttest is a minimal analysistest replacement: it loads
+// GOPATH-style fixture packages from a testdata directory, runs an
+// analyzer over them (facts flowing between fixture packages), and checks
+// reported diagnostics against `// want` comments.
+//
+// x/tools' own analysistest depends on go/packages, which is not part of
+// the toolchain-vendored subset of x/tools this repo can build against;
+// this harness reimplements the part of its contract the suite needs:
+//
+//   - testdata/src/<importpath>/*.go defines the fixture package
+//     <importpath>; fixtures may import each other and the stdlib.
+//   - a line expecting a diagnostic carries a comment of the form
+//     `// want "regexp"` (multiple wants per line allowed).
+//   - every diagnostic must match a want on its line, and every want
+//     must be matched by a diagnostic, or the test fails.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+type testPkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	t       *testing.T
+	root    string // the testdata directory
+	fset    *token.FileSet
+	pkgs    map[string]*testPkg
+	order   []*testPkg
+	std     types.Importer
+	sizes   types.Sizes
+	loading map[string]bool
+}
+
+// Run loads the named fixture packages (plus any fixture packages they
+// import) from testdataDir, runs the analyzer over all of them in
+// dependency order, and checks diagnostics against want comments.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{
+		t:    t,
+		root: testdataDir,
+		fset: fset,
+		pkgs: make(map[string]*testPkg),
+		// The source importer type-checks stdlib imports (time, fmt, os,
+		// ...) from GOROOT source: fully offline.
+		std:     importer.ForCompiler(fset, "source", nil),
+		sizes:   types.SizesFor("gc", runtime.GOARCH),
+		loading: make(map[string]bool),
+	}
+	for _, path := range paths {
+		if _, err := ld.load(path); err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+	}
+
+	diags := ld.analyze(a)
+	ld.checkWants(a, diags)
+}
+
+func (ld *loader) load(path string) (*testPkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.root, "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return nil, fmt.Errorf("no fixture directory %s", dir)
+	}
+	if ld.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	ld.loading[path] = true
+	defer func() { ld.loading[path] = false }()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s has no Go files", path)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			// Fixture-package imports resolve inside testdata; everything
+			// else falls through to the stdlib source importer.
+			if fi, err := os.Stat(filepath.Join(ld.root, "src", filepath.FromSlash(ipath))); err == nil && fi.IsDir() {
+				p, err := ld.load(ipath)
+				if err != nil {
+					return nil, err
+				}
+				return p.types, nil
+			}
+			return ld.std.Import(ipath)
+		}),
+		Sizes: ld.sizes,
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &testPkg{path: path, files: files, types: tpkg, info: info}
+	ld.pkgs[path] = p
+	ld.order = append(ld.order, p) // deps finish loading before dependents
+	return p, nil
+}
+
+type diag struct {
+	pos token.Position
+	msg string
+}
+
+// analyze runs a (and its requirements) over every loaded fixture package
+// in dependency order, with in-memory fact propagation.
+func (ld *loader) analyze(a *analysis.Analyzer) []diag {
+	ld.t.Helper()
+	var diags []diag
+	objFacts := make(map[types.Object]analysis.Fact)
+	pkgFacts := make(map[*types.Package]analysis.Fact)
+
+	for _, p := range ld.order {
+		results := make(map[*analysis.Analyzer]interface{})
+		var run func(a *analysis.Analyzer)
+		run = func(a *analysis.Analyzer) {
+			if _, done := results[a]; done {
+				return
+			}
+			for _, req := range a.Requires {
+				run(req)
+			}
+			p := p
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       ld.fset,
+				Files:      p.files,
+				Pkg:        p.types,
+				TypesInfo:  p.info,
+				TypesSizes: ld.sizes,
+				ResultOf:   results,
+				ReadFile:   os.ReadFile,
+				Report: func(d analysis.Diagnostic) {
+					diags = append(diags, diag{pos: ld.fset.Position(d.Pos), msg: d.Message})
+				},
+				ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+					stored, ok := objFacts[obj]
+					if !ok || reflect.TypeOf(stored) != reflect.TypeOf(fact) {
+						return false
+					}
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+					return true
+				},
+				ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+					objFacts[obj] = fact
+				},
+				ImportPackageFact: func(tp *types.Package, fact analysis.Fact) bool {
+					stored, ok := pkgFacts[tp]
+					if !ok || reflect.TypeOf(stored) != reflect.TypeOf(fact) {
+						return false
+					}
+					reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+					return true
+				},
+				ExportPackageFact: func(fact analysis.Fact) { pkgFacts[p.types] = fact },
+				AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+				AllPackageFacts:   func() []analysis.PackageFact { return nil },
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				ld.t.Fatalf("%s on %s: %v", a.Name, p.path, err)
+			}
+			results[a] = res
+		}
+		run(a)
+	}
+	return diags
+}
+
+var wantRe = regexp.MustCompile(`// want (".*")\s*$`)
+
+// checkWants matches diagnostics against `// want "re"` comments.
+func (ld *loader) checkWants(a *analysis.Analyzer, diags []diag) {
+	ld.t.Helper()
+	type wantKey struct {
+		file string
+		line int
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[wantKey][]*want)
+
+	for _, p := range ld.pkgs {
+		for _, f := range p.files {
+			name := ld.fset.Position(f.Pos()).Filename
+			src, err := os.ReadFile(name)
+			if err != nil {
+				ld.t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(src), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				// The captured section may hold several quoted patterns:
+				// want "a" "b"
+				for _, q := range splitQuoted(ld.t, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						ld.t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, q, err)
+					}
+					key := wantKey{file: name, line: i + 1}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := wantKey{file: d.pos.Filename, line: d.pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.msg) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			ld.t.Errorf("%s: unexpected diagnostic from %s: %s", d.pos, a.Name, d.msg)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				ld.t.Errorf("%s:%d: want %q: no matching diagnostic from %s", k.file, k.line, w.re, a.Name)
+			}
+		}
+	}
+}
+
+// splitQuoted splits `"a" "b"` into its segments, interpreting each as a
+// Go string literal (so `\\(` in the source is the regex `\(`, matching
+// analysistest's conventions).
+func splitQuoted(t *testing.T, s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		if s[0] != '"' {
+			t.Fatalf("malformed want clause %q", s)
+		}
+		i := 1
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			t.Fatalf("unterminated want pattern %q", s)
+		}
+		q, err := strconv.Unquote(s[:i+1])
+		if err != nil {
+			t.Fatalf("bad want pattern %q: %v", s[:i+1], err)
+		}
+		out = append(out, q)
+		s = s[i+1:]
+	}
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

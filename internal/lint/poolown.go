@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// PoolOwn enforces the pooled-object ownership rules: pipeline.UOp and
+// ftq.Request live on identity-validated free lists, so every construction
+// must go through pool machinery, and every long-lived retention point must
+// be a documented owner structure.
+var PoolOwn = &analysis.Analyzer{
+	Name: "poolown",
+	Doc: "enforce pool ownership of pipeline.UOp and ftq.Request\n\n" +
+		"Pooled types may not be constructed (composite literal, new, var of\n" +
+		"value type, make of a value slice) outside their defining package or\n" +
+		"a //smtfetch:poolowner function, may not be stored in package-level\n" +
+		"variables or channels at all, and may not be retained in maps or in\n" +
+		"struct slice/array fields outside a //smtfetch:poolowner struct.\n" +
+		"This mechanizes the lifetime rules in the internal/ftq package\n" +
+		"comment and the free-list invariants in internal/core.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runPoolOwn,
+}
+
+// pooledName returns the defining-package path and type name if named is a
+// pooled type.
+func pooledName(t types.Type) (pkg, name string, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	names := pooledTypes[obj.Pkg().Path()]
+	if names == nil || !names[obj.Name()] {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// containsPooled walks t structurally through pointers, slices, arrays,
+// maps, and channels and reports the first pooled named type it reaches.
+// It does not descend into named struct types: their own declarations are
+// checked where they are declared.
+func containsPooled(t types.Type) (pkg, name string, ok bool) {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) (string, string, bool)
+	walk = func(t types.Type) (string, string, bool) {
+		if seen[t] {
+			return "", "", false
+		}
+		seen[t] = true
+		if pkg, name, ok := pooledName(t); ok {
+			return pkg, name, ok
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			return walk(u.Elem())
+		case *types.Slice:
+			return walk(u.Elem())
+		case *types.Array:
+			return walk(u.Elem())
+		case *types.Chan:
+			return walk(u.Elem())
+		case *types.Map:
+			if pkg, name, ok := walk(u.Key()); ok {
+				return pkg, name, ok
+			}
+			return walk(u.Elem())
+		}
+		return "", "", false
+	}
+	return walk(t)
+}
+
+func runPoolOwn(pass *analysis.Pass) (interface{}, error) {
+	dirs := collectDirectives(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// The defining package is its own pool machinery.
+	ownPkg := pooledTypes[pass.Pkg.Path()] != nil
+
+	// ownerFunc reports whether any enclosing function declaration in the
+	// stack is annotated //smtfetch:poolowner.
+	ownerFunc := func(stack []ast.Node) bool {
+		for _, n := range stack {
+			if fd, ok := n.(*ast.FuncDecl); ok && dirs.declHas(fd, dirPoolOwner) {
+				return true
+			}
+		}
+		return false
+	}
+
+	nodeFilter := []ast.Node{
+		(*ast.CompositeLit)(nil),
+		(*ast.CallExpr)(nil),
+		(*ast.ValueSpec)(nil),
+		(*ast.TypeSpec)(nil),
+		(*ast.SendStmt)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if isTestFile(pass.Fset, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			tv, ok := pass.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			// Direct pooled literal (UOp{...}, &UOp{...} via the parent
+			// unary): construction.
+			if pkg, name, ok := pooledName(tv.Type); ok && !ownPkg && !ownerFunc(stack) {
+				pass.Reportf(n.Pos(), "%s.%s composite literal outside its pool: pooled objects must come from the identity-validated free list (annotate pool machinery with %spoolowner)",
+					pathBase(pkg), name, directivePrefix)
+				return true
+			}
+			// Container literal retaining pooled values/pointers
+			// ([]*UOp{...}, map literals, ...): retention.
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Map:
+				if pkg, name, ok := containsPooled(tv.Type); ok && !ownPkg && !ownerFunc(stack) {
+					pass.Reportf(n.Pos(), "literal of %s retains pooled %s.%s outside an owner: only %spoolowner structures may hold pooled objects",
+						shortType(tv.Type), pathBase(pkg), name, directivePrefix)
+				}
+			}
+		case *ast.CallExpr:
+			// new(UOp) and make([]UOp, ...) construct pooled storage.
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) >= 1 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "new" || b.Name() == "make") {
+					if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok && tv.IsType() {
+						target := tv.Type
+						if b.Name() == "new" {
+							if pkg, name, ok := pooledName(target); ok && !ownPkg && !ownerFunc(stack) {
+								pass.Reportf(n.Pos(), "new(%s.%s) outside its pool: pooled objects must come from the identity-validated free list", pathBase(pkg), name)
+							}
+						} else if pkg, name, ok := containsPooled(target); ok && !ownPkg && !ownerFunc(stack) {
+							pass.Reportf(n.Pos(), "make of %s outside an owner: constructing or retaining pooled %s.%s storage is reserved to %spoolowner functions",
+								shortType(target), pathBase(pkg), name, directivePrefix)
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			// Package-level variables may never hold pooled objects: a
+			// global retention point outlives every pool epoch.
+			isPkgLevel := len(stack) >= 2 && isFileLevelDecl(stack)
+			for _, name := range n.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if pkg, tname, ok := containsPooled(obj.Type()); ok {
+					if isPkgLevel {
+						pass.Reportf(name.Pos(), "package-level variable %s holds pooled %s.%s: globals outlive every pool epoch and are never valid owners", name.Name, pathBase(pkg), tname)
+						continue
+					}
+					// Local declaration of a bare pooled *value* outside
+					// the pool (var u pipeline.UOp): construction.
+					if _, _, direct := pooledName(obj.Type()); direct && !ownPkg && !ownerFunc(stack) {
+						pass.Reportf(name.Pos(), "var of pooled value type %s.%s outside its pool: use the free list, not a stack copy (identity checks cannot see copies)", pathBase(pkg), tname)
+					}
+				}
+			}
+		case *ast.TypeSpec:
+			st, ok := n.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			if ownPkg || dirs.declHas(n, dirPoolOwner) {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				tv, ok := pass.TypesInfo.Types[f.Type]
+				if !ok {
+					continue
+				}
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Array, *types.Map, *types.Chan:
+					if pkg, name, ok := containsPooled(tv.Type); ok {
+						pass.Reportf(f.Pos(), "struct %s retains pooled %s.%s in a container field but is not a documented owner: annotate the struct with %spoolowner (and document it) or hand the objects back to their pool",
+							n.Name.Name, pathBase(pkg), name, directivePrefix)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			// Channels hand objects to other goroutines: never a valid
+			// transfer for pool-owned state (and goroutines are banned in
+			// simulator packages anyway).
+			if tv, ok := pass.TypesInfo.Types[n.Value]; ok {
+				if pkg, name, ok := containsPooled(tv.Type); ok {
+					pass.Reportf(n.Pos(), "channel send of pooled %s.%s: pooled objects may not cross goroutines", pathBase(pkg), name)
+				}
+			}
+		}
+		return true
+	})
+
+	// Channel types mentioning pooled objects are wrong wherever they
+	// appear (fields, params, locals): scan type expressions.
+	ins.Preorder([]ast.Node{(*ast.ChanType)(nil)}, func(n ast.Node) {
+		if isTestFile(pass.Fset, n.Pos()) {
+			return
+		}
+		if tv, ok := pass.TypesInfo.Types[n.(ast.Expr)]; ok {
+			if pkg, name, ok := containsPooled(tv.Type); ok {
+				pass.Reportf(n.Pos(), "channel type carries pooled %s.%s: pooled objects may not cross goroutines", pathBase(pkg), name)
+			}
+		}
+	})
+
+	return nil, nil
+}
+
+// isFileLevelDecl reports whether the innermost declaration context in the
+// stack is a file-level GenDecl (i.e. not inside any function).
+func isFileLevelDecl(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.FuncDecl); ok {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// shortType renders a type with bare package names (pipeline.UOp, not the
+// full import path), keeping diagnostics readable.
+func shortType(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,18 @@
+// Package other is outside the simulator set: the same constructs are
+// legal here (the experiment/server layers schedule work and read the
+// environment on purpose).
+package other
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Clock may read the wall clock outside the simulator.
+func Clock() (int64, int, string) {
+	go func() {}()
+	for range map[int]int{1: 1} {
+	}
+	return time.Now().Unix(), rand.Intn(10), os.Getenv("HOME")
+}

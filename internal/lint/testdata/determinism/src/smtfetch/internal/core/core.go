@@ -1,0 +1,62 @@
+// Package core is a fixture stand-in for the real core package: its
+// import path puts it in the simulator set, so every determinism rule
+// applies.
+package core
+
+import (
+	"math/rand"
+	"os" // want "simulator package imports \"os\""
+	"time"
+)
+
+// counters is iterated below.
+var counters = map[string]uint64{"a": 1}
+
+// wallClock reads nondeterministic inputs.
+func wallClock() int64 {
+	t := time.Now() // want "time.Now in a simulator package"
+	_ = os.Getenv("HOME")
+	time.Sleep(time.Millisecond) // want "time.Sleep in a simulator package"
+	return t.Unix()
+}
+
+// globalRand uses process-global generator state.
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn uses global math/rand state"
+}
+
+// seededRand derives randomness from an explicit seed: reproducible, not
+// flagged.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// spawn breaks scheduling determinism.
+func spawn(done chan struct{}) {
+	go func() { close(done) }() // want "go statement in a simulator package"
+	select {                    // want "select in a simulator package"
+	case <-done:
+	default:
+	}
+}
+
+// sumMap iterates a map without an annotation.
+func sumMap() uint64 {
+	var s uint64
+	for _, v := range counters { // want "range over map in a simulator package"
+		s += v
+	}
+	return s
+}
+
+// sumMapCommutative carries the commutativity proof sketch, so the
+// iteration is accepted.
+func sumMapCommutative() uint64 {
+	var s uint64
+	//smtfetch:commutative unordered sum over uint64 counters is associative and commutative
+	for _, v := range counters {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+// Package consumer exercises every poolown rule from outside the pool
+// packages.
+package consumer
+
+import (
+	"smtfetch/internal/ftq"
+	"smtfetch/internal/pipeline"
+)
+
+// leakedUOps is a global retention point: never allowed, not even with an
+// annotation.
+var leakedUOps []*pipeline.UOp // want "package-level variable leakedUOps holds pooled pipeline.UOp"
+
+// stray builds pooled objects by hand.
+func stray() *pipeline.UOp {
+	u := &pipeline.UOp{} // want "UOp composite literal outside its pool"
+	_ = new(ftq.Request) // want "new\\(ftq.Request\\) outside its pool"
+	var v pipeline.UOp   // want "var of pooled value type pipeline.UOp outside its pool"
+	_ = v
+	buf := make([]pipeline.UOp, 8) // want "make of \\[\\]pipeline.UOp outside an owner"
+	_ = buf
+	m := map[int]*ftq.Request{} // want "literal of map\\[int\\]\\*ftq.Request retains pooled ftq.Request"
+	_ = m
+	return u
+}
+
+// hoarder retains pooled pointers but is not a documented owner.
+type hoarder struct {
+	stash []*pipeline.UOp      // want "struct hoarder retains pooled pipeline.UOp in a container field"
+	byID  map[int]*ftq.Request // want "struct hoarder retains pooled ftq.Request in a container field"
+}
+
+// uopChan hands pooled objects across goroutines.
+func uopChan(ch chan *pipeline.UOp, u *pipeline.UOp) { // want "channel type carries pooled pipeline.UOp"
+	ch <- u // want "channel send of pooled pipeline.UOp"
+}
+
+// replayQueue is a documented owner structure: the annotation makes the
+// retention legal.
+//
+//smtfetch:poolowner
+type replayQueue struct {
+	pending []*pipeline.UOp
+}
+
+// recycle is pool machinery by annotation: construction and owner-style
+// scratch storage are legal here.
+//
+//smtfetch:poolowner
+func recycle(q *replayQueue, u *pipeline.UOp) {
+	*u = pipeline.UOp{} // reset-in-place of pooled storage
+	scratch := make([]*pipeline.UOp, 0, 4)
+	scratch = append(scratch, u)
+	q.pending = append(q.pending, scratch...)
+}
+
+// borrow passes pooled pointers through without retaining them: fine.
+func borrow(u *pipeline.UOp, q *replayQueue) uint64 {
+	q.pending = append(q.pending, u)
+	return u.GSeq
+}

@@ -1,0 +1,23 @@
+// Package ftq is a fixture stand-in for the real ftq package.
+package ftq
+
+// Request is the pooled fetch-request stand-in.
+type Request struct {
+	Thread int
+	refs   int32
+}
+
+// Pool owns free Requests.
+type Pool struct {
+	free []*Request
+}
+
+// Get hands out a pooled request; in-package construction is allowed.
+func (p *Pool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Request{}
+}

@@ -1,0 +1,24 @@
+// Package pipeline is a fixture stand-in for the real pipeline package:
+// same import path (inside the test universe), same pooled type name.
+package pipeline
+
+// UOp is the pooled micro-op stand-in.
+type UOp struct {
+	Thread int
+	GSeq   uint64
+}
+
+// UOpRing is a documented owner inside the defining package: everything
+// here is pool machinery by definition, so none of this is flagged.
+type UOpRing struct {
+	buf  []*UOp
+	head int
+}
+
+// NewRing builds a ring; in-package construction is allowed.
+func NewRing(n int) *UOpRing {
+	return &UOpRing{buf: make([]*UOp, n)}
+}
+
+// Push appends in place.
+func (r *UOpRing) Push(u *UOp) { r.buf[r.head] = u; r.head++ }

@@ -1,0 +1,89 @@
+// Package core is a fixture stand-in for the real core package,
+// exercising every zeroalloc rule.
+package core
+
+import (
+	"errors"
+
+	"smtfetch/internal/fetch"
+)
+
+type point struct{ x, y int }
+
+type simState struct {
+	buf   []int
+	index map[int]int
+	sink  interface{}
+	name  string
+}
+
+// helper is deliberately unannotated.
+func helper(s *simState) {}
+
+// coldSetup is unannotated, so allocation is unconstrained here.
+func coldSetup() *simState {
+	return &simState{
+		buf:   make([]int, 0, 8),
+		index: make(map[int]int),
+	}
+}
+
+// cycle checks the call-closure rule.
+//
+//smtfetch:hotpath
+func cycle(s *simState) {
+	tick(s)
+	_ = fetch.Predict(1)
+	fetch.Cold() // want "calls fetch.Cold which is not marked"
+	helper(s)    // want "calls core.helper which is not marked"
+	//smtfetch:allowcold invariant audit runs once per run, outside the measured loop
+	helper(s)
+}
+
+// tick checks the allocating-construct rules.
+//
+//smtfetch:hotpath
+func tick(s *simState) {
+	s.buf = append(s.buf, 1) // want "append may grow its backing array"
+	//smtfetch:allowalloc buffer pre-sized to the ROB bound at construction
+	s.buf = append(s.buf, 2)
+	p := new(int) // want "new allocates"
+	_ = p
+	q := make([]int, 4) // want "make allocates"
+	_ = q
+	s.index[1] = 2 // want "map write may allocate"
+	s.sink = 42    // want "assignment boxes int into"
+	var f func()
+	f = func() {} // want "function literal"
+	f()
+	defer f()          // want "defer"
+	go f()             // want "go statement"
+	pt := &point{1, 2} // want "address of composite literal"
+	_ = pt
+	v := []int{1, 2} // want "literal allocates its backing store"
+	_ = v
+	s.name = s.name + "x" // want "string concatenation allocates"
+	b := []byte(s.name)   // want "conversion between string and byte/rune slice"
+	_ = b
+	err := errors.New("x") // want "call to errors.New allocates"
+	_ = err
+	panic(errors.New("panic paths are exempt: the simulator is already dead"))
+}
+
+// boxedReturn checks interface boxing at returns.
+//
+//smtfetch:hotpath
+func boxedReturn(n int) interface{} {
+	return n // want "return boxes int into"
+}
+
+// clean is a hotpath function with nothing to flag.
+//
+//smtfetch:hotpath
+func clean(s *simState, i int) int {
+	if i < len(s.buf) {
+		s.buf[i]++
+		return s.buf[i] + fetch.Predict(i)
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+// Package fetch is a fixture stand-in for the real fetch package: its
+// hotpath annotations are exported as facts for dependents to check
+// call-closure across package boundaries.
+package fetch
+
+// Predict is on the hot path.
+//
+//smtfetch:hotpath
+func Predict(t int) int { return t * 2 }
+
+// Cold is not annotated: hotpath callers must not call it.
+func Cold() {}

@@ -1,0 +1,300 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// ZeroAlloc enforces the 0 allocs/op property of the cycle loop at the
+// diff: functions annotated //smtfetch:hotpath may not contain allocating
+// constructs, and the hotpath set must be closed under calls into
+// simulator packages, so everything core.Cycle reaches is checked.
+var ZeroAlloc = &analysis.Analyzer{
+	Name: "zeroalloc",
+	Doc: "forbid allocating constructs in //smtfetch:hotpath functions\n\n" +
+		"Inside an annotated function the analyzer flags: new/make/append,\n" +
+		"address-of composite literals, slice and map literals, map writes,\n" +
+		"closures, defer/go, string concatenation and string<->[]byte\n" +
+		"conversions, interface boxing of non-pointer values, and calls to\n" +
+		"fmt/errors/log/sort helpers. Arguments to panic are exempt (a\n" +
+		"panicking simulator is already dead). Calls to simulator-package\n" +
+		"functions that are not themselves hotpath are flagged, so the\n" +
+		"annotation closes over the static call graph; //smtfetch:allowalloc\n" +
+		"and //smtfetch:allowcold record justified exceptions inline. The\n" +
+		"compiler's real escape verdicts are cross-checked separately by the\n" +
+		"escape gate (internal/lint/escape).",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*isHotpath)(nil)},
+	Run:       runZeroAlloc,
+}
+
+// isHotpath marks a function annotated //smtfetch:hotpath, exported so
+// that dependent packages can check call-closure across package
+// boundaries.
+type isHotpath struct{}
+
+func (*isHotpath) AFact()         {}
+func (*isHotpath) String() string { return "hotpath" }
+
+// allocDenylist names stdlib functions whose call always (or almost
+// always) allocates, keyed by package path.
+var allocDenylist = map[string]map[string]bool{
+	"fmt":     nil, // nil = every function in the package
+	"errors":  nil,
+	"log":     nil,
+	"strings": {"Join": true, "Repeat": true, "Split": true, "Fields": true, "Replace": true, "ReplaceAll": true, "ToUpper": true, "ToLower": true},
+	"sort":    {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+}
+
+func runZeroAlloc(pass *analysis.Pass) (interface{}, error) {
+	dirs := collectDirectives(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Collect and export this package's hotpath set first, so recursion
+	// and same-package calls resolve without facts.
+	local := map[*types.Func]bool{}
+	var hotDecls []*ast.FuncDecl
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if !dirs.declHas(fd, dirHotpath) {
+			return
+		}
+		if isTestFile(pass.Fset, fd.Pos()) {
+			pass.Reportf(fd.Pos(), "%shotpath has no effect in a test file", directivePrefix)
+			return
+		}
+		fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		local[fn] = true
+		hotDecls = append(hotDecls, fd)
+		pass.ExportObjectFact(fn, &isHotpath{})
+	})
+
+	hot := func(fn *types.Func) bool {
+		if local[fn] {
+			return true
+		}
+		return pass.ImportObjectFact(fn, &isHotpath{})
+	}
+
+	for _, fd := range hotDecls {
+		checkHotBody(pass, dirs, fd, hot)
+	}
+	return nil, nil
+}
+
+// checkHotBody walks one annotated function body and reports allocating
+// constructs and calls that leave the hotpath set.
+func checkHotBody(pass *analysis.Pass, dirs *directives, fd *ast.FuncDecl, hot func(*types.Func) bool) {
+	if fd.Body == nil {
+		return
+	}
+	self, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	info := pass.TypesInfo
+
+	allowed := func(pos token.Pos) bool { return dirs.lineHas(pos, dirAllowAlloc) }
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if allowed(pos) {
+			return
+		}
+		pass.Reportf(pos, "hotpath %s: "+format, append([]interface{}{fd.Name.Name}, args...)...)
+	}
+
+	// boxes reports whether assigning an expression of type from to a
+	// location of type to heap-boxes a value: a conversion to an
+	// interface from a concrete type that is not pointer-shaped.
+	boxes := func(to, from types.Type) bool {
+		if to == nil || from == nil {
+			return false
+		}
+		if !types.IsInterface(to) || types.IsInterface(from) {
+			return false
+		}
+		if bt, ok := from.(*types.Basic); ok && bt.Kind() == types.UntypedNil {
+			return false
+		}
+		switch from.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			return false // pointer-shaped: fits the iface data word
+		}
+		return true
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement (allocates a goroutine; also a determinism violation)")
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer (may heap-allocate its frame; restructure or justify with %s%s)", directivePrefix, dirAllowAlloc)
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal (closures capture on the heap)")
+			return false // don't double-report the closure's own body
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					report(n.Pos(), "address of composite literal escapes-by-construction: reuse pooled storage instead")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(n.Pos(), "%s literal allocates its backing store", shortType(tv.Type))
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n.X]; ok {
+					if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// Map writes may grow or split buckets.
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if tv, ok := info.Types[ix.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							report(n.Pos(), "map write may allocate (bucket growth); pre-size and justify with %s%s if the key set is bounded", directivePrefix, dirAllowAlloc)
+						}
+					}
+				}
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					lt := info.TypeOf(lhs)
+					rt := info.TypeOf(n.Rhs[i])
+					if boxes(lt, rt) {
+						report(n.Pos(), "assignment boxes %s into %s (interface conversion of a non-pointer allocates)", rt, lt)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// panic(...) arguments are exempt: the simulator is dead and
+			// the message allocation is irrelevant. Skip the subtree.
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					return false
+				}
+			}
+			checkHotCall(pass, dirs, fd, n, hot, self, report, boxes)
+		case *ast.ReturnStmt:
+			if self != nil {
+				sig := self.Type().(*types.Signature)
+				if sig.Results().Len() == len(n.Results) {
+					for i, res := range n.Results {
+						if boxes(sig.Results().At(i).Type(), info.TypeOf(res)) {
+							report(res.Pos(), "return boxes %s into %s", info.TypeOf(res), sig.Results().At(i).Type())
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		return walk(n)
+	})
+}
+
+// checkHotCall handles the CallExpr cases: allocating builtins, denylisted
+// stdlib calls, conversions, boxing at argument positions, and the
+// call-closure rule for simulator packages.
+func checkHotCall(pass *analysis.Pass, dirs *directives, fd *ast.FuncDecl, call *ast.CallExpr, hot func(*types.Func) bool, self *types.Func, report func(token.Pos, string, ...interface{}), boxes func(to, from types.Type) bool) {
+	info := pass.TypesInfo
+
+	// Type conversions: string<->[]byte/[]rune copy, and conversions to
+	// interface box.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			to := tv.Type
+			from := info.TypeOf(call.Args[0])
+			if isStringByteConv(to, from) {
+				report(call.Pos(), "conversion between string and byte/rune slice copies its data")
+			}
+			if boxes(to, from) {
+				report(call.Pos(), "conversion boxes %s into %s", from, to)
+			}
+		}
+		return
+	}
+
+	switch fn := typeutil.Callee(info, call).(type) {
+	case *types.Builtin:
+		switch fn.Name() {
+		case "new":
+			report(call.Pos(), "new allocates; take storage from a pool or a pre-sized structure")
+		case "make":
+			report(call.Pos(), "make allocates; pre-size at construction time and justify growth paths with %s%s", directivePrefix, dirAllowAlloc)
+		case "append":
+			report(call.Pos(), "append may grow its backing array; guarantee capacity at construction and justify with %s%s", directivePrefix, dirAllowAlloc)
+		}
+		return
+	case *types.Func:
+		pkg := fn.Pkg()
+		if pkg == nil {
+			return
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		isMethod := sig != nil && sig.Recv() != nil
+		if names, denied := allocDenylist[pkg.Path()]; denied && !isMethod {
+			if names == nil || names[fn.Name()] {
+				report(call.Pos(), "call to %s.%s allocates", pathBase(pkg.Path()), fn.Name())
+			}
+		}
+		// Call-closure rule: a hotpath function may only call simulator
+		// functions that are themselves hotpath, so the annotation (and
+		// therefore this analyzer and the escape gate) covers everything
+		// core.Cycle reaches.
+		if simPackages[pkg.Path()] && fn != self && !hot(fn) && !dirs.lineHas(call.Pos(), dirAllowCold) {
+			pass.Reportf(call.Pos(), "hotpath %s calls %s.%s which is not marked %s%s: annotate the callee (it is on the cycle loop) or justify the cold call with %s%s",
+				fd.Name.Name, pathBase(pkg.Path()), fn.Name(), directivePrefix, dirHotpath, directivePrefix, dirAllowCold)
+		}
+		// Boxing at argument positions (e.g. a variadic ...any sink).
+		if sig != nil {
+			params := sig.Params()
+			for i, arg := range call.Args {
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= params.Len()-1:
+					if call.Ellipsis.IsValid() {
+						continue
+					}
+					pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+				case i < params.Len():
+					pt = params.At(i).Type()
+				}
+				if boxes(pt, info.TypeOf(arg)) {
+					report(arg.Pos(), "argument boxes %s into %s", info.TypeOf(arg), pt)
+				}
+			}
+		}
+	}
+}
+
+func isStringByteConv(to, from types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (isStr(to) && isByteSlice(from)) || (isByteSlice(to) && isStr(from))
+}

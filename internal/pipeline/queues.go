@@ -15,9 +15,13 @@ func NewIssueQueue(capacity int) *IssueQueue {
 }
 
 // Cap returns the queue capacity.
+//
+//smtfetch:hotpath
 func (q *IssueQueue) Cap() int { return q.cap }
 
 // Len returns the occupancy.
+//
+//smtfetch:hotpath
 func (q *IssueQueue) Len() int { return len(q.entries) }
 
 // LenOf returns the occupancy owned by thread t.
@@ -32,19 +36,26 @@ func (q *IssueQueue) LenOf(t int) int {
 }
 
 // Full reports whether the queue is at capacity.
+//
+//smtfetch:hotpath
 func (q *IssueQueue) Full() bool { return len(q.entries) >= q.cap }
 
 // Add dispatches u into the queue; it reports false when full.
+//
+//smtfetch:hotpath
 func (q *IssueQueue) Add(u *UOp) bool {
 	if q.Full() {
 		return false
 	}
+	//smtfetch:allowalloc Full() bounds the queue at cap; capacity converges to cap after warmup
 	q.entries = append(q.entries, u)
 	return true
 }
 
 // Scan calls fn on each entry oldest-first; fn returns true to remove the
 // entry (issued). Squashed and flushed entries are dropped during the scan.
+//
+//smtfetch:hotpath
 func (q *IssueQueue) Scan(fn func(u *UOp) bool) {
 	out := q.entries[:0]
 	for _, u := range q.entries {
@@ -54,6 +65,7 @@ func (q *IssueQueue) Scan(fn func(u *UOp) bool) {
 		if fn(u) {
 			continue
 		}
+		//smtfetch:allowalloc in-place compaction: out aliases entries[:0], so append never exceeds the existing capacity
 		out = append(out, u)
 	}
 	// Clear the tail so removed uops don't leak.
@@ -65,13 +77,18 @@ func (q *IssueQueue) Scan(fn func(u *UOp) bool) {
 
 // DropSquashed removes squashed (and flushed) entries without issuing
 // anything.
+//
+//smtfetch:hotpath
 func (q *IssueQueue) DropSquashed() {
+	//smtfetch:allowalloc non-escaping closure: Scan calls it inline and does not retain it (escape gate verifies)
 	q.Scan(func(*UOp) bool { return false })
 }
 
 // At returns the i-th oldest entry (0 = head). Entries are age-ordered
 // because dispatch is in order; the IQPOSN policy uses this to measure
 // head proximity without a callback.
+//
+//smtfetch:hotpath
 func (q *IssueQueue) At(i int) *UOp { return q.entries[i] }
 
 // Each calls fn on every entry oldest-first without side effects (used by
@@ -101,9 +118,13 @@ func NewRegFile(n, reserved int) *RegFile {
 }
 
 // Free returns the number of allocatable registers.
+//
+//smtfetch:hotpath
 func (r *RegFile) Free() int { return r.free }
 
 // Alloc takes one register; it reports false when none are free.
+//
+//smtfetch:hotpath
 func (r *RegFile) Alloc() bool {
 	if r.free <= 0 {
 		return false
@@ -113,6 +134,8 @@ func (r *RegFile) Alloc() bool {
 }
 
 // Release returns one register to the free list.
+//
+//smtfetch:hotpath
 func (r *RegFile) Release() {
 	if r.free < r.total {
 		r.free++

@@ -22,10 +22,14 @@ func NewUOpRing(capHint int) *UOpRing {
 }
 
 // Len returns the number of queued uops.
+//
+//smtfetch:hotpath
 func (r *UOpRing) Len() int { return r.n }
 
 // At returns the i-th oldest uop (0 = head). It panics on out-of-range
 // indices, like a slice.
+//
+//smtfetch:hotpath
 func (r *UOpRing) At(i int) *UOp {
 	if i < 0 || i >= r.n {
 		panic("pipeline: UOpRing index out of range")
@@ -34,6 +38,8 @@ func (r *UOpRing) At(i int) *UOp {
 }
 
 // Push appends u at the tail, growing the ring if full.
+//
+//smtfetch:hotpath
 func (r *UOpRing) Push(u *UOp) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -43,6 +49,8 @@ func (r *UOpRing) Push(u *UOp) {
 }
 
 // PopHead removes and returns the oldest uop, or nil when empty.
+//
+//smtfetch:hotpath
 func (r *UOpRing) PopHead() *UOp {
 	if r.n == 0 {
 		return nil
@@ -55,6 +63,8 @@ func (r *UOpRing) PopHead() *UOp {
 }
 
 // PopTail removes and returns the youngest uop, or nil when empty.
+//
+//smtfetch:hotpath
 func (r *UOpRing) PopTail() *UOp {
 	if r.n == 0 {
 		return nil
@@ -68,6 +78,8 @@ func (r *UOpRing) PopTail() *UOp {
 
 // Filter keeps only the uops for which keep returns true, preserving order
 // and compacting in place.
+//
+//smtfetch:hotpath
 func (r *UOpRing) Filter(keep func(u *UOp) bool) {
 	mask := len(r.buf) - 1
 	w := 0
@@ -93,7 +105,9 @@ func (r *UOpRing) Clear() {
 	r.head, r.n = 0, 0
 }
 
+//smtfetch:hotpath
 func (r *UOpRing) grow() {
+	//smtfetch:allowalloc ring doubling: amortized one-time growth to the high-water mark, then never again
 	bigger := make([]*UOp, 2*len(r.buf))
 	mask := len(r.buf) - 1
 	for i := 0; i < r.n; i++ {

@@ -22,19 +22,27 @@ func NewROB(capacity, threads int) *ROB {
 }
 
 // Cap returns the shared capacity.
+//
+//smtfetch:hotpath
 func (r *ROB) Cap() int { return r.cap }
 
 // Len returns the total occupancy.
+//
+//smtfetch:hotpath
 func (r *ROB) Len() int { return r.count }
 
 // LenOf returns thread t's occupancy.
 func (r *ROB) LenOf(t int) int { return r.perThread[t].Len() }
 
 // Full reports whether no entry is free.
+//
+//smtfetch:hotpath
 func (r *ROB) Full() bool { return r.count >= r.cap }
 
 // Dispatch appends u to its thread's FIFO; it reports false when the
 // shared budget is exhausted.
+//
+//smtfetch:hotpath
 func (r *ROB) Dispatch(u *UOp) bool {
 	if r.count >= r.cap {
 		return false
@@ -45,6 +53,8 @@ func (r *ROB) Dispatch(u *UOp) bool {
 }
 
 // Head returns thread t's oldest in-flight uop, or nil.
+//
+//smtfetch:hotpath
 func (r *ROB) Head(t int) *UOp {
 	q := r.perThread[t]
 	if q.Len() == 0 {
@@ -54,6 +64,8 @@ func (r *ROB) Head(t int) *UOp {
 }
 
 // PopHead removes thread t's oldest uop (commit).
+//
+//smtfetch:hotpath
 func (r *ROB) PopHead(t int) {
 	if r.perThread[t].PopHead() != nil {
 		r.count--
@@ -73,11 +85,14 @@ func (r *ROB) Each(fn func(u *UOp)) {
 // SquashYounger removes all thread-t uops younger than gseq (strictly
 // greater), marking them squashed and appending them to dst, which is
 // returned. Passing a reused scratch slice keeps recovery allocation-free.
+//
+//smtfetch:hotpath
 func (r *ROB) SquashYounger(t int, gseq uint64, dst []*UOp) []*UOp {
 	q := r.perThread[t]
 	for q.Len() > 0 && q.At(q.Len()-1).GSeq > gseq {
 		u := q.PopTail()
 		u.Squashed = true
+		//smtfetch:allowalloc dst is the caller's reused squash scratch; capacity converges to the in-flight bound
 		dst = append(dst, u)
 		r.count--
 	}
@@ -88,11 +103,14 @@ func (r *ROB) SquashYounger(t int, gseq uint64, dst []*UOp) []*UOp {
 // thread-t uops younger than gseq, marking them flushed (not squashed — the
 // caller keeps them alive for replay) and appending them to dst
 // youngest-first, which is returned.
+//
+//smtfetch:hotpath
 func (r *ROB) FlushYounger(t int, gseq uint64, dst []*UOp) []*UOp {
 	q := r.perThread[t]
 	for q.Len() > 0 && q.At(q.Len()-1).GSeq > gseq {
 		u := q.PopTail()
 		u.Flushed = true
+		//smtfetch:allowalloc dst is the caller's scratch, pre-sized to the flush bound
 		dst = append(dst, u)
 		r.count--
 	}

@@ -82,6 +82,8 @@ type UOp struct {
 }
 
 // QueueKind maps an instruction class to its issue queue.
+//
+//smtfetch:hotpath
 func QueueKind(c isa.Class) int {
 	switch c {
 	case isa.Load, isa.Store:

@@ -101,9 +101,13 @@ type Block struct {
 func (b *Block) Addr() isa.Addr { return b.addr }
 
 // Len returns the block size in instructions, including the terminator.
+//
+//smtfetch:hotpath
 func (b *Block) Len() int { return len(b.body) + 1 }
 
 // TermPC returns the address of the block's terminating branch.
+//
+//smtfetch:hotpath
 func (b *Block) TermPC() isa.Addr {
 	return b.addr + isa.Addr(len(b.body)*isa.InstrSize)
 }
@@ -151,6 +155,8 @@ func (p *Program) AvgStaticBBSize() float64 {
 // addr within it. Addresses outside the program are wrapped into it (stale
 // predictor targets must still land somewhere executable, exactly as a real
 // wrong path lands in real code).
+//
+//smtfetch:hotpath
 func (p *Program) BlockAt(addr isa.Addr) (*Block, int) {
 	if addr < CodeBase || addr >= p.codeEnd {
 		span := uint64(p.codeEnd - CodeBase)
@@ -158,6 +164,7 @@ func (p *Program) BlockAt(addr isa.Addr) (*Block, int) {
 	}
 	addr &^= isa.InstrSize - 1
 	// Find the last block whose start <= addr.
+	//smtfetch:allowalloc non-escaping closure: sort.Search does not retain it (escape gate verifies)
 	i := sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > addr }) - 1
 	if i < 0 {
 		i = 0

@@ -72,24 +72,33 @@ func (p *Program) newStream(seed uint64, pc isa.Addr) *Stream {
 
 // Peek returns the k-th upcoming instruction (k=0 is next). The returned
 // pointer is valid until the next Advance/Redirect.
+//
+//smtfetch:hotpath
 func (s *Stream) Peek(k int) *isa.Instruction {
 	for len(s.buf)-s.head <= k {
+		//smtfetch:allowalloc lookahead buffer is compacted at 4096: capacity converges to the compaction bound
 		s.buf = append(s.buf, s.gen())
 	}
 	return &s.buf[s.head+k]
 }
 
 // PC returns the address of the next instruction.
+//
+//smtfetch:hotpath
 func (s *Stream) PC() isa.Addr { return s.Peek(0).PC }
 
 // Advance consumes n instructions.
+//
+//smtfetch:hotpath
 func (s *Stream) Advance(n int) {
 	for len(s.buf)-s.head < n {
+		//smtfetch:allowalloc lookahead buffer is compacted at 4096: capacity converges to the compaction bound
 		s.buf = append(s.buf, s.gen())
 	}
 	s.head += n
 	// Compact the buffer occasionally to bound growth.
 	if s.head >= 4096 {
+		//smtfetch:allowalloc lookahead buffer is compacted at 4096: capacity converges to the compaction bound
 		s.buf = append(s.buf[:0], s.buf[s.head:]...)
 		s.head = 0
 	}
@@ -98,6 +107,8 @@ func (s *Stream) Advance(n int) {
 // Redirect repositions the stream at pc, discarding buffered lookahead.
 // Wrong-path streams are redirected to follow the predicted path after
 // every predicted branch.
+//
+//smtfetch:hotpath
 func (s *Stream) Redirect(pc isa.Addr) {
 	s.buf = s.buf[:0]
 	s.head = 0
@@ -106,6 +117,8 @@ func (s *Stream) Redirect(pc isa.Addr) {
 
 // gen materializes the next instruction at the walk position and advances
 // the position.
+//
+//smtfetch:hotpath
 func (s *Stream) gen() isa.Instruction {
 	b := s.blk
 	s.Generated++
@@ -171,6 +184,7 @@ func (s *Stream) gen() isa.Instruction {
 			copy(s.callStack, s.callStack[1:])
 			s.callStack = s.callStack[:len(s.callStack)-1]
 		}
+		//smtfetch:allowalloc callStack is capped at maxCallStack by the shift above; capacity converges to the cap
 		s.callStack = append(s.callStack, ra)
 	case isa.Return:
 		in.Taken = true
@@ -213,6 +227,7 @@ func (s *Stream) gen() isa.Instruction {
 	return in
 }
 
+//smtfetch:hotpath
 func boolBit(b bool) uint64 {
 	if b {
 		return 1
@@ -221,14 +236,18 @@ func boolBit(b bool) uint64 {
 }
 
 // condOutcome evaluates a conditional branch's synthetic behaviour.
+//
+//smtfetch:hotpath
 func (s *Stream) condOutcome(t *terminator) bool {
 	switch t.class {
 	case brLoop:
 		c := s.loopCounts[t.id]
 		taken := c < t.tripCount-1
 		if taken {
+			//smtfetch:allowalloc loopCounts is keyed by static branch id: bounded by the program's static footprint
 			s.loopCounts[t.id] = c + 1
 		} else {
+			//smtfetch:allowalloc loopCounts is keyed by static branch id: bounded by the program's static footprint
 			s.loopCounts[t.id] = 0
 		}
 		return taken
@@ -243,6 +262,7 @@ func (s *Stream) condOutcome(t *terminator) bool {
 	}
 }
 
+//smtfetch:hotpath
 func popcount(x uint64) int {
 	n := 0
 	for x != 0 {
@@ -254,11 +274,14 @@ func popcount(x uint64) int {
 
 // memAddr computes the next effective address for a static memory
 // instruction.
+//
+//smtfetch:hotpath
 func (s *Stream) memAddr(si *staticInstr) isa.Addr {
 	g := si.mem
 	switch g.kind {
 	case memStride:
 		off := s.strideOffs[si.id]
+		//smtfetch:allowalloc strideOffs is keyed by static instruction id: bounded by the program's static footprint
 		s.strideOffs[si.id] = off + g.stride
 		return isa.Addr(g.base + off%g.size)
 	default: // memRandom

@@ -328,6 +328,7 @@ func (h *Histogram) Percentile(p float64) int {
 		return 0
 	}
 	keys := make([]int, 0, len(h.counts))
+	//smtfetch:commutative keys are collected and sorted before use; iteration order cannot reach the result
 	for k := range h.counts {
 		keys = append(keys, k)
 	}
