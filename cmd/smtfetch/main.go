@@ -129,6 +129,7 @@ func parseRunFlags(args []string) (*runSpec, error) {
 	policy := fs.String("policy", "ICOUNT.1.8", "fetch policy (POLICY.T.W)")
 	seed := fs.Uint64("seed", 1, "replication seed, matching sweep's -seeds axis")
 	asJSON := fs.Bool("json", false, "emit the full stats snapshot as JSON")
+	sample := fs.String("sample", "", "SMARTS-style sampled measurement, detail:N,skip:M (empty = full detail)")
 	warmup, warmupCycles, measure, maxCycles := simFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -139,6 +140,10 @@ func parseRunFlags(args []string) (*runSpec, error) {
 		return nil, err
 	}
 	pol, err := smtfetch.ParseFetchPolicy(*policy)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := smtfetch.ParseSample(*sample)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +162,7 @@ func parseRunFlags(args []string) (*runSpec, error) {
 			WarmupCycles:  *warmupCycles,
 			MeasureInstrs: *measure,
 			MaxCycles:     *maxCycles,
+			Sample:        sp,
 		},
 	}
 	if *benchmarks != "" {
@@ -181,11 +187,16 @@ func cmdRun(args []string) error {
 			Workload: spec.cell.Workload, Engine: spec.cell.Engine.String(),
 			Policy: spec.cell.Policy.String(), Seed: spec.cell.Seed,
 			IPC: res.IPC, IPFC: res.IPFC, CondAccuracy: res.CondAccuracy, Stats: &snap,
+			SampleIntervals: res.SampleIntervals, IPCCI95: res.IPCCI95,
 		}
 		return experiment.WriteJSON(os.Stdout, []experiment.Result{r})
 	}
-	fmt.Printf("%s %s %s: IPC %.3f  IPFC %.3f  branch acc %.4f\n",
-		spec.cell.Workload, spec.cell.Engine, spec.cell.Policy, res.IPC, res.IPFC, res.CondAccuracy)
+	ci := ""
+	if res.SampleIntervals > 0 {
+		ci = fmt.Sprintf(" ±%.3f (95%% CI, %d intervals)", res.IPCCI95, res.SampleIntervals)
+	}
+	fmt.Printf("%s %s %s: IPC %.3f%s  IPFC %.3f  branch acc %.4f\n",
+		spec.cell.Workload, spec.cell.Engine, spec.cell.Policy, res.IPC, ci, res.IPFC, res.CondAccuracy)
 	fmt.Print(res.Stats)
 	return nil
 }
@@ -263,6 +274,8 @@ func parseSweepFlags(args []string) (*sweepSpec, error) {
 	aggOut := fs.String("agg-o", "", "write the per-group aggregate JSON (mean/stddev/95% CI across seeds) to this file")
 	table := fs.Bool("table", true, "print the aligned result table to stderr")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
+	sample := fs.String("sample", "", "SMARTS-style sampled measurement per cell, detail:N,skip:M (empty = full detail)")
+	warmFork := fs.String("warm-fork", "", "share warm-ups across the policy axis: 'fork' (checkpoint once per workload/engine/seed group) or 'rerun' (the slow reference path fork must match byte-for-byte)")
 	warmup, warmupCycles, measure, maxCycles := simFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -280,6 +293,8 @@ func parseSweepFlags(args []string) (*sweepSpec, error) {
 			WarmupCycles:  *warmupCycles,
 			MeasureInstrs: *measure,
 			MaxCycles:     *maxCycles,
+			Sample:        *sample,
+			WarmFork:      *warmFork,
 		},
 	}
 	if *workloads == "" {
@@ -314,6 +329,8 @@ func parseSweepFlags(args []string) (*sweepSpec, error) {
 		WarmupCycles:  *warmupCycles,
 		MeasureInstrs: *measure,
 		MaxCycles:     *maxCycles,
+		Sample:        *sample,
+		WarmFork:      *warmFork,
 	}
 	return spec, nil
 }
@@ -499,15 +516,17 @@ func cmdServe(args []string) error {
 	cacheFile := fs.String("cache-file", "", "persist the result cache to this file (loaded at start, saved on shutdown)")
 	syncLimit := fs.Int("sync-limit", 16, "largest grid answered synchronously; bigger grids get a job ID (-1 = everything async)")
 	jobs := fs.Int("jobs", 0, "parallel workers per sweep (0 = NumCPU)")
+	snapSize := fs.Int("snapshot-cache-size", 0, "warm-checkpoint cache tier capacity in entries (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	srv, err := server.New(server.Config{
-		CacheSize:     *cacheSize,
-		CacheFile:     *cacheFile,
-		SyncCellLimit: *syncLimit,
-		Jobs:          *jobs,
+		CacheSize:         *cacheSize,
+		CacheFile:         *cacheFile,
+		SyncCellLimit:     *syncLimit,
+		Jobs:              *jobs,
+		SnapshotCacheSize: *snapSize,
 	})
 	if err != nil {
 		return err

@@ -130,6 +130,11 @@ type Sim struct {
 	threads  []threadState
 	nthreads int
 
+	// drainMode gates the prediction stage off so the pipeline empties
+	// while consuming (never discarding) FTQ contents; Drain in state.go
+	// sets it around its cycle loop.
+	drainMode bool
+
 	now  uint64
 	gseq uint64
 
@@ -1104,6 +1109,9 @@ func (s *Sim) flushRing(r *pipeline.UOpRing, t int, gseq uint64, dst []*pipeline
 
 //smtfetch:hotpath
 func (s *Sim) predictStage() {
+	if s.drainMode {
+		return
+	}
 	order := fetch.PrioritizeInto(s.orderBuf, s.cfg.FetchPolicy.Policy, s.policyKeys(), s.predictEligible, s.now, s.cfg.FetchPolicy.Threads)
 	s.orderBuf = order[:0]
 	for _, t := range order {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 
+	"smtfetch"
 	"smtfetch/internal/bench"
 	"smtfetch/internal/config"
 	"smtfetch/internal/rng"
@@ -82,10 +83,36 @@ type Sweep struct {
 	// Machine overrides the Table 3 configuration when non-nil.
 	Machine *config.Config
 
+	// Sample enables SMARTS-style sampled measurement per cell, in
+	// smtfetch's "detail:N,skip:M" notation; empty measures every
+	// instruction in full detail.
+	Sample string
+
+	// WarmFork selects warm-state checkpoint sharing across the cells of a
+	// warm-up group (same workload, engine, policy shape T.W, and seed):
+	// "" runs every cell cold under its own policy (the historical
+	// behavior), WarmForkFork warms once per group under the canonical
+	// ICOUNT policy, checkpoints, and forks every cell from the
+	// checkpoint, and WarmForkRerun re-simulates the identical canonical
+	// warm-up for every cell — the slow reference path whose output
+	// WarmForkFork must match byte-for-byte. See warmfork.go.
+	WarmFork string
+
+	// SnapshotSource, when non-nil, mediates warm-checkpoint reuse across
+	// sweeps (the server's snapshot cache tier): it receives the group's
+	// warm key and a builder, and returns a cached blob or the builder's
+	// output. Within one sweep checkpoints are additionally memoized per
+	// warm key, so the source sees each key at most once per run.
+	SnapshotSource func(key string, build func() ([]byte, error)) ([]byte, error)
+
 	// OnResult, when non-nil, is called after each cell finishes with the
 	// completed count, the total, and the cell's result. Calls are
 	// serialized but arrive in completion order, not cell order.
 	OnResult func(done, total int, r Result)
+
+	// snap memoizes warm checkpoints for the worker pool; set up by
+	// RunCells, shared by pointer so Sweep stays copyable.
+	snap *snapMemo
 }
 
 // Cells expands the grid into its cell list in deterministic order
@@ -150,6 +177,14 @@ func (s *Sweep) validateCells(cells []Cell) error {
 	if len(cells) == 0 {
 		return errors.New("experiment: sweep selects no cells")
 	}
+	if _, err := smtfetch.ParseSample(s.Sample); err != nil {
+		return err
+	}
+	switch s.WarmFork {
+	case WarmForkOff, WarmForkFork, WarmForkRerun:
+	default:
+		return fmt.Errorf("experiment: unknown warm-fork mode %q (want %q or %q)", s.WarmFork, WarmForkFork, WarmForkRerun)
+	}
 	seen := map[string]bool{}
 	for _, c := range cells {
 		k := c.Key()
@@ -196,6 +231,9 @@ func (s *Sweep) Run() ([]Result, error) {
 // runs. Results are sorted by cell key, and failed cells are reported both
 // in their Result.Error field and in the aggregated error.
 func (s *Sweep) RunCells(cells []Cell, src ResultSource) ([]Result, error) {
+	if s.snap == nil {
+		s.snap = newSnapMemo()
+	}
 	jobs := s.Jobs
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()

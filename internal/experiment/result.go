@@ -25,6 +25,13 @@ type Result struct {
 	IPFC         float64 `json:"ipfc"`
 	CondAccuracy float64 `json:"cond_accuracy"`
 
+	// SampleIntervals and IPCCI95 are set when the cell was measured with
+	// SMARTS-style sampling (Sweep.Sample): the number of detail intervals
+	// and the 95% confidence half-width of the sampled IPC estimate. Both
+	// are zero (and omitted from JSON) for full-detail cells.
+	SampleIntervals int     `json:"sample_intervals,omitempty"`
+	IPCCI95         float64 `json:"ipc_ci95,omitempty"`
+
 	// Stats carries the full counter snapshot; nil when the cell failed.
 	Stats *stats.Snapshot `json:"stats,omitempty"`
 	// Error is the cell's failure message, empty on success.

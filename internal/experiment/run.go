@@ -8,6 +8,20 @@ import (
 // substitute a fast fake simulator when exercising pool mechanics; real
 // sweeps always go through the public smtfetch API.
 var runner = func(s *Sweep, c Cell) Result {
+	if s.WarmFork != WarmForkOff {
+		return runWarmFork(s, c)
+	}
+	r := Result{
+		Workload: c.Workload,
+		Engine:   c.Engine.String(),
+		Policy:   c.Policy.String(),
+		Seed:     c.Seed,
+	}
+	sample, err := smtfetch.ParseSample(s.Sample)
+	if err != nil {
+		r.Error = err.Error()
+		return r
+	}
 	res, err := smtfetch.Run(smtfetch.Options{
 		Workload:      c.Workload,
 		Engine:        c.Engine,
@@ -18,21 +32,23 @@ var runner = func(s *Sweep, c Cell) Result {
 		MeasureInstrs: s.MeasureInstrs,
 		MaxCycles:     s.MaxCycles,
 		Machine:       s.Machine,
+		Sample:        sample,
 	})
-	r := Result{
-		Workload: c.Workload,
-		Engine:   c.Engine.String(),
-		Policy:   c.Policy.String(),
-		Seed:     c.Seed,
-	}
 	if err != nil {
 		r.Error = err.Error()
 		return r
 	}
+	fillResult(&r, res)
+	return r
+}
+
+// fillResult copies a simulator result into a sweep cell result.
+func fillResult(r *Result, res *smtfetch.Result) {
 	snap := res.Stats.Snapshot()
 	r.IPC = res.IPC
 	r.IPFC = res.IPFC
 	r.CondAccuracy = res.CondAccuracy
 	r.Stats = &snap
-	return r
+	r.SampleIntervals = res.SampleIntervals
+	r.IPCCI95 = res.IPCCI95
 }

@@ -60,6 +60,13 @@ type threadFE struct {
 	// pool recycles fetch requests; see the ftq package comment for the
 	// lifetime rules.
 	pool *ftq.Pool
+
+	// Functional fast-forward block tracking (sampled simulation): the
+	// current training block's start, length, and path checkpoint. Reset
+	// by BeginFunctional; transient, never serialized into snapshots.
+	ffBlockStart  isa.Addr
+	ffBlockInstrs int
+	ffPathCp      bpred.PathHistory
 }
 
 // FrontEnd owns the prediction stage: shared predictor tables plus

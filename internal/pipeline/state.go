@@ -1,0 +1,21 @@
+package pipeline
+
+// Warm-state snapshot accessors. The uop containers (ROB, issue queues,
+// rings) are serialized by the core as index lists over its uop table, so
+// this file only exposes the small amount of unexported scalar state that
+// the core cannot reach: the register free-list counter. FUPool state is
+// deliberately not checkpointed — its per-cycle issue budget self-resets
+// on the first TryIssue of any later cycle, so a restored simulator
+// observes identical behaviour with a zeroed pool.
+
+// SetFree overwrites the free-register counter (snapshot restore only).
+// n is clamped to [0, total].
+func (r *RegFile) SetFree(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > r.total {
+		n = r.total
+	}
+	r.free = n
+}

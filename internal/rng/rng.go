@@ -39,6 +39,13 @@ func New(seed uint64) *Rand {
 	return &r
 }
 
+// State returns the generator's internal state, for checkpointing.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state, restoring a
+// checkpoint taken with State.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }
+
 // Child derives a new independent generator from this one. It is used to
 // give each static instruction / branch / thread its own stream so that
 // changing one component's consumption does not perturb the others.

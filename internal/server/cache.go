@@ -27,7 +27,10 @@ import (
 )
 
 // Fingerprint hashes everything besides the cell identity that determines
-// a cell's result: the simulation phase lengths, the machine configuration
+// a cell's result: the simulation phase lengths (WarmupInstrs and
+// WarmupCycles are explicit fields — a sweep with a different warm-up can
+// never be served another warm-up's cells), the sampling spec, the
+// warm-fork mode (it changes seed derivation), the machine configuration
 // (with the engine/policy fields zeroed — the cell key carries those), and
 // the result schema version. Sweeps with equal fingerprints may share
 // cached cells.
@@ -46,8 +49,10 @@ func Fingerprint(s *experiment.Sweep) string {
 		WarmupCycles  uint64
 		MeasureInstrs uint64
 		MaxCycles     uint64
+		Sample        string
+		WarmFork      string
 		Machine       config.Config
-	}{experiment.SchemaVersion, s.WarmupInstrs, s.WarmupCycles, s.MeasureInstrs, s.MaxCycles, mc})
+	}{experiment.SchemaVersion, s.WarmupInstrs, s.WarmupCycles, s.MeasureInstrs, s.MaxCycles, s.Sample, s.WarmFork, mc})
 	if err != nil {
 		// config.Config is a plain struct of scalars; this cannot fail.
 		panic(fmt.Sprintf("server: fingerprint marshal: %v", err))
@@ -62,7 +67,9 @@ func CacheKey(fingerprint string, c experiment.Cell) string {
 	return fingerprint + "/" + c.Key()
 }
 
-// CacheStats is the counter snapshot served by GET /cache/stats.
+// CacheStats is the counter snapshot served by GET /cache/stats. The
+// snapshot_* counters cover the warm-checkpoint artifact tier; the rest
+// cover the result tier.
 type CacheStats struct {
 	Entries   int    `json:"entries"`
 	Capacity  int    `json:"capacity"`
@@ -70,10 +77,25 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Stores    uint64 `json:"stores"`
 	Evictions uint64 `json:"evictions"`
+
+	SnapshotEntries   int    `json:"snapshot_entries"`
+	SnapshotCapacity  int    `json:"snapshot_capacity"`
+	SnapshotHits      uint64 `json:"snapshot_hits"`
+	SnapshotMisses    uint64 `json:"snapshot_misses"`
+	SnapshotStores    uint64 `json:"snapshot_stores"`
+	SnapshotEvictions uint64 `json:"snapshot_evictions"`
 }
 
-// Cache is a bounded LRU over completed sweep cells, keyed by
-// CacheKey(fingerprint, cell). It is safe for concurrent use.
+// DefaultSnapshotCapacity bounds the snapshot tier when the owner does not
+// call SetSnapshotCapacity. Snapshot blobs are megabytes, not bytes, so
+// the bound is far below the result tier's.
+const DefaultSnapshotCapacity = 64
+
+// Cache is a bounded two-tier LRU, safe for concurrent use. The result
+// tier holds completed sweep cells keyed by CacheKey(fingerprint, cell);
+// the snapshot tier holds warm-checkpoint blobs (core.Sim.Snapshot
+// artifacts) keyed by experiment warm keys, letting repeated sweeps skip
+// the warm-up phase entirely in warm-fork mode.
 type Cache struct {
 	mu        sync.Mutex
 	capacity  int
@@ -83,6 +105,14 @@ type Cache struct {
 	misses    uint64
 	stores    uint64
 	evictions uint64
+
+	snapCap       int
+	snapLL        *list.List
+	snapByKey     map[string]*list.Element
+	snapHits      uint64
+	snapMisses    uint64
+	snapStores    uint64
+	snapEvictions uint64
 }
 
 type cacheEntry struct {
@@ -90,15 +120,82 @@ type cacheEntry struct {
 	res experiment.Result
 }
 
-// NewCache returns an empty cache bounded to capacity entries (minimum 1).
+type snapCacheEntry struct {
+	key  string
+	blob []byte
+}
+
+// NewCache returns an empty cache bounded to capacity result entries
+// (minimum 1) and DefaultSnapshotCapacity snapshot entries.
 func NewCache(capacity int) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		byKey:    map[string]*list.Element{},
+		capacity:  capacity,
+		ll:        list.New(),
+		byKey:     map[string]*list.Element{},
+		snapCap:   DefaultSnapshotCapacity,
+		snapLL:    list.New(),
+		snapByKey: map[string]*list.Element{},
+	}
+}
+
+// SetSnapshotCapacity rebounds the snapshot tier (minimum 1), evicting
+// immediately if the tier is over the new bound.
+func (c *Cache) SetSnapshotCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.snapCap = n
+	c.evictSnapshots()
+}
+
+// GetSnapshot returns the cached warm-checkpoint blob for key, marking it
+// most recently used. Callers must not mutate the returned blob.
+func (c *Cache) GetSnapshot(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.snapByKey[key]
+	if !ok {
+		c.snapMisses++
+		return nil, false
+	}
+	c.snapHits++
+	c.snapLL.MoveToFront(el)
+	return el.Value.(*snapCacheEntry).blob, true
+}
+
+// PutSnapshot stores a warm-checkpoint blob under key, evicting the least
+// recently used snapshot when the tier is full.
+func (c *Cache) PutSnapshot(key string, blob []byte) {
+	c.putSnapshot(key, blob, true)
+}
+
+func (c *Cache) putSnapshot(key string, blob []byte, countStore bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if countStore {
+		c.snapStores++
+	}
+	if el, ok := c.snapByKey[key]; ok {
+		el.Value.(*snapCacheEntry).blob = blob
+		c.snapLL.MoveToFront(el)
+		return
+	}
+	c.snapByKey[key] = c.snapLL.PushFront(&snapCacheEntry{key: key, blob: blob})
+	c.evictSnapshots()
+}
+
+// evictSnapshots trims the snapshot tier to its bound; callers hold c.mu.
+func (c *Cache) evictSnapshots() {
+	for c.snapLL.Len() > c.snapCap {
+		oldest := c.snapLL.Back()
+		c.snapLL.Remove(oldest)
+		delete(c.snapByKey, oldest.Value.(*snapCacheEntry).key)
+		c.snapEvictions++
 	}
 }
 
@@ -160,27 +257,51 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Stores:    c.stores,
 		Evictions: c.evictions,
+
+		SnapshotEntries:   c.snapLL.Len(),
+		SnapshotCapacity:  c.snapCap,
+		SnapshotHits:      c.snapHits,
+		SnapshotMisses:    c.snapMisses,
+		SnapshotStores:    c.snapStores,
+		SnapshotEvictions: c.snapEvictions,
 	}
 }
 
-// CacheSchemaVersion versions the on-disk cache snapshot. The entries
-// themselves reuse the experiment.Result schema that WriteJSON emits, so a
-// result round-trips the disk byte-identically.
-const CacheSchemaVersion = 1
+// CacheSchemaVersion versions the on-disk cache snapshot. Version 2 adds
+// the entry tier: "result" entries reuse the experiment.Result schema that
+// WriteJSON emits (so a result round-trips the disk byte-identically), and
+// "snapshot" entries carry base64 warm-checkpoint blobs under their warm
+// key. Version 1 files (untiered, results only) still load.
+const CacheSchemaVersion = 2
 
-// cacheFile is the persistence envelope: one entry per cached cell, in
-// LRU order (least recently used first) so a reload reconstructs recency.
+// cacheFile is the persistence envelope: one entry per cached artifact,
+// per tier in LRU order (least recently used first) so a reload
+// reconstructs recency.
 type cacheFile struct {
 	SchemaVersion int              `json:"schema_version"`
 	Entries       []persistedEntry `json:"entries"`
 }
 
+// persistedEntry is one cached artifact. Tier selects which fields are
+// meaningful: "result" (or empty, the version-1 spelling) uses
+// Fingerprint+Result, "snapshot" uses Key+Blob. Unknown tiers are a load
+// error — a file written by a future schema must fail loudly, not load as
+// an empty-looking result.
 type persistedEntry struct {
-	Fingerprint string            `json:"fingerprint"`
-	Result      experiment.Result `json:"result"`
+	Tier        string             `json:"tier,omitempty"`
+	Fingerprint string             `json:"fingerprint,omitempty"`
+	Result      *experiment.Result `json:"result,omitempty"`
+	Key         string             `json:"key,omitempty"`
+	Blob        []byte             `json:"blob,omitempty"`
 }
 
-// SaveFile atomically writes the cache contents to path (tmp + rename).
+// Artifact tier names in persisted cache files.
+const (
+	TierResult   = "result"
+	TierSnapshot = "snapshot"
+)
+
+// SaveFile atomically writes both cache tiers to path (tmp + rename).
 func (c *Cache) SaveFile(path string) error {
 	c.mu.Lock()
 	f := cacheFile{SchemaVersion: CacheSchemaVersion}
@@ -189,7 +310,12 @@ func (c *Cache) SaveFile(path string) error {
 		// The key suffix is reconstructible from the result; only the
 		// fingerprint prefix needs storing.
 		fp := e.key[:len(e.key)-len(e.res.Key())-1]
-		f.Entries = append(f.Entries, persistedEntry{Fingerprint: fp, Result: e.res})
+		res := e.res
+		f.Entries = append(f.Entries, persistedEntry{Tier: TierResult, Fingerprint: fp, Result: &res})
+	}
+	for el := c.snapLL.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*snapCacheEntry)
+		f.Entries = append(f.Entries, persistedEntry{Tier: TierSnapshot, Key: e.key, Blob: e.blob})
 	}
 	c.mu.Unlock()
 
@@ -227,12 +353,27 @@ func (c *Cache) LoadFile(path string) (int, error) {
 	if err := json.Unmarshal(blob, &f); err != nil {
 		return 0, fmt.Errorf("server: bad cache file %s: %w", path, err)
 	}
-	if f.SchemaVersion != CacheSchemaVersion {
+	// Version 1 is version 2 minus tiers: every entry is an implicit
+	// result. Anything newer (or older) is rejected.
+	if f.SchemaVersion != CacheSchemaVersion && f.SchemaVersion != 1 {
 		return 0, fmt.Errorf("server: cache file %s has schema version %d, want %d", path, f.SchemaVersion, CacheSchemaVersion)
 	}
-	for _, e := range f.Entries {
-		// Loads do not count as stores: stats reflect live traffic only.
-		c.put(e.Fingerprint+"/"+e.Result.Key(), e.Result, false)
+	for i, e := range f.Entries {
+		switch e.Tier {
+		case "", TierResult:
+			if e.Result == nil {
+				return 0, fmt.Errorf("server: cache file %s entry %d: result tier without a result", path, i)
+			}
+			// Loads do not count as stores: stats reflect live traffic only.
+			c.put(e.Fingerprint+"/"+e.Result.Key(), *e.Result, false)
+		case TierSnapshot:
+			if e.Key == "" {
+				return 0, fmt.Errorf("server: cache file %s entry %d: snapshot tier without a key", path, i)
+			}
+			c.putSnapshot(e.Key, e.Blob, false)
+		default:
+			return 0, fmt.Errorf("server: cache file %s entry %d has unknown artifact tier %q (known: %q, %q); refusing to load a future schema partially", path, i, e.Tier, TierResult, TierSnapshot)
+		}
 	}
 	return len(f.Entries), nil
 }

@@ -26,6 +26,13 @@ type SweepRequest struct {
 	MeasureInstrs uint64 `json:"measure_instrs,omitempty"`
 	MaxCycles     uint64 `json:"max_cycles,omitempty"`
 
+	// Sample is smtfetch's "detail:N,skip:M" sampled-measurement spec.
+	Sample string `json:"sample,omitempty"`
+	// WarmFork selects warm-checkpoint sharing ("fork" or "rerun"); see
+	// experiment.Sweep.WarmFork. In fork mode the server backs the
+	// checkpoints with its snapshot cache tier.
+	WarmFork string `json:"warm_fork,omitempty"`
+
 	// Async forces job mode even for grids under the sync cell limit.
 	Async bool `json:"async,omitempty"`
 }
@@ -41,6 +48,8 @@ func (r SweepRequest) Sweep() (*experiment.Sweep, error) {
 		WarmupCycles:  r.WarmupCycles,
 		MeasureInstrs: r.MeasureInstrs,
 		MaxCycles:     r.MaxCycles,
+		Sample:        r.Sample,
+		WarmFork:      r.WarmFork,
 	}
 	for _, s := range r.Engines {
 		e, err := config.ParseEngine(s)
@@ -76,6 +85,10 @@ type Config struct {
 	// MaxFinishedJobs bounds how many completed jobs stay pollable
 	// (<= 0 = 32). Running jobs are never evicted.
 	MaxFinishedJobs int
+	// SnapshotCacheSize bounds the warm-checkpoint cache tier in entries
+	// (<= 0 = DefaultSnapshotCapacity). Checkpoints are megabytes each, so
+	// this stays far below CacheSize.
+	SnapshotCacheSize int
 }
 
 // Server is the sweep service: an http.Handler exposing
@@ -131,6 +144,9 @@ func New(cfg Config) (*Server, error) {
 		jobs:      newJobRegistry(maxDone),
 		syncLimit: syncLimit,
 		poolJobs:  cfg.Jobs,
+	}
+	if cfg.SnapshotCacheSize > 0 {
+		s.cache.SetSnapshotCapacity(cfg.SnapshotCacheSize)
 	}
 	s.flight.m = map[string]chan struct{}{}
 	if cfg.CacheFile != "" {
@@ -240,6 +256,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // sweep itself succeeded, matching CLI semantics where a partially
 // failed grid still writes its results file.
 func (s *Server) runSweep(sw *experiment.Sweep, cells []experiment.Cell, fp string) ([]byte, error) {
+	// Back warm-fork checkpoints with the snapshot cache tier: a repeated
+	// sweep (or one sharing warm groups with an earlier sweep) restores the
+	// persisted checkpoint instead of re-simulating the warm-up.
+	sw.SnapshotSource = s.resolveSnapshot
 	src := func(c experiment.Cell) (experiment.Result, bool) {
 		return s.resolveKey(CacheKey(fp, c), func() experiment.Result {
 			return sw.ExecuteCell(c)
@@ -247,6 +267,41 @@ func (s *Server) runSweep(sw *experiment.Sweep, cells []experiment.Cell, fp stri
 	}
 	results, _ := sw.RunCells(cells, src)
 	return experiment.MarshalJSONResults(results)
+}
+
+// resolveSnapshot answers one warm key from the snapshot cache tier,
+// building (warming + checkpointing) on a miss. Concurrent misses on the
+// same key across overlapping jobs are single-flighted like result cells;
+// build failures are not cached, so waiters retry. Warm keys are pure hex,
+// so the "snapshot/" flight-key prefix cannot collide with result flight
+// keys (fingerprint-prefixed cache keys contain a cell suffix).
+func (s *Server) resolveSnapshot(key string, build func() ([]byte, error)) ([]byte, error) {
+	for {
+		if blob, ok := s.cache.GetSnapshot(key); ok {
+			return blob, nil
+		}
+		s.flight.mu.Lock()
+		fk := "snapshot/" + key
+		ch, running := s.flight.m[fk]
+		if !running {
+			ch = make(chan struct{})
+			s.flight.m[fk] = ch
+		}
+		s.flight.mu.Unlock()
+		if running {
+			<-ch
+			continue
+		}
+		blob, err := build()
+		if err == nil {
+			s.cache.PutSnapshot(key, blob)
+		}
+		s.flight.mu.Lock()
+		delete(s.flight.m, fk)
+		s.flight.mu.Unlock()
+		close(ch)
+		return blob, err
+	}
 }
 
 // resolveKey answers one content key from the cache, executing exec on a

@@ -462,3 +462,97 @@ func TestMultiSeedRoundTripAggregatesIdentically(t *testing.T) {
 		t.Fatalf("cached+fresh aggregate differs from all-fresh aggregate:\n%s\nvs\n%s", a, b)
 	}
 }
+
+// warmForkRequest is a 3-cell single-group grid (one workload, one
+// engine, three 1.8-shape policies) in fork mode with short phases.
+func warmForkRequest(mode string) SweepRequest {
+	return SweepRequest{
+		Workloads:     []string{"2_MIX"},
+		Engines:       []string{"stream"},
+		Policies:      []string{"ICOUNT.1.8", "RR.1.8", "BRCOUNT.1.8"},
+		Seeds:         []uint64{1},
+		WarmupInstrs:  5_000,
+		WarmupCycles:  500,
+		MeasureInstrs: 8_000,
+		WarmFork:      mode,
+	}
+}
+
+// The snapshot tier end to end: a warm-fork sweep warms each group once
+// (one snapshot store), a repeated sweep restores from the cached
+// checkpoint (one snapshot hit, zero new stores), and the fork output is
+// byte-identical to the rerun reference path.
+func TestWarmForkSweepUsesSnapshotTier(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	resp1, body1 := postSweep(t, ts, warmForkRequest("fork"))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("fork sweep: %s: %s", resp1.Status, body1)
+	}
+	st := srv.CacheStats()
+	if st.SnapshotStores != 1 || st.SnapshotEntries != 1 {
+		t.Fatalf("snapshot stats after cold fork sweep = %+v", st)
+	}
+	if st.SnapshotMisses != 1 {
+		t.Fatalf("expected exactly one snapshot miss (one warm group), got %+v", st)
+	}
+
+	// Repeat with a fresh fingerprint-compatible grid but a disjoint
+	// policy of the same shape: result cells miss, the warm checkpoint
+	// hits — the whole warm-up phase is skipped.
+	second := warmForkRequest("fork")
+	second.Policies = []string{"STALL.1.8"}
+	resp2, body2 := postSweep(t, ts, second)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second fork sweep: %s: %s", resp2.Status, body2)
+	}
+	st = srv.CacheStats()
+	if st.SnapshotStores != 1 {
+		t.Fatalf("second sweep rebuilt the checkpoint: %+v", st)
+	}
+	if st.SnapshotHits < 1 {
+		t.Fatalf("second sweep did not hit the snapshot tier: %+v", st)
+	}
+
+	// Fork output must be byte-identical to the rerun reference (which
+	// never touches the snapshot tier).
+	rerunSrv, rerunTS := newTestServer(t, Config{})
+	respR, bodyR := postSweep(t, rerunTS, warmForkRequest("rerun"))
+	if respR.StatusCode != http.StatusOK {
+		t.Fatalf("rerun sweep: %s: %s", respR.Status, bodyR)
+	}
+	if !bytes.Equal(body1, bodyR) {
+		t.Fatalf("fork response differs from rerun reference:\n%s\nvs\n%s", body1, bodyR)
+	}
+	if st := rerunSrv.CacheStats(); st.SnapshotStores != 0 || st.SnapshotMisses != 0 {
+		t.Fatalf("rerun mode touched the snapshot tier: %+v", st)
+	}
+}
+
+// Snapshot blobs survive a server restart through the cache file, so a
+// restarted server forks sweeps without re-warming.
+func TestSnapshotTierSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+
+	srv1, ts1 := newTestServer(t, Config{CacheFile: path})
+	if resp, body := postSweep(t, ts1, warmForkRequest("fork")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fork sweep: %s: %s", resp.Status, body)
+	}
+	if err := srv1.SaveCache(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2 := newTestServer(t, Config{CacheFile: path})
+	if st := srv2.CacheStats(); st.SnapshotEntries != 1 {
+		t.Fatalf("snapshot entries after restart = %+v", st)
+	}
+	// A same-shape sweep with a fresh policy restores instead of warming.
+	req := warmForkRequest("fork")
+	req.Policies = []string{"MISSCOUNT.1.8"}
+	if resp, body := postSweep(t, ts2, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart sweep: %s: %s", resp.Status, body)
+	}
+	if st := srv2.CacheStats(); st.SnapshotStores != 0 || st.SnapshotHits < 1 {
+		t.Fatalf("post-restart sweep re-warmed: %+v", st)
+	}
+}

@@ -40,6 +40,9 @@ package smtfetch
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"smtfetch/internal/bench"
 	"smtfetch/internal/config"
@@ -150,6 +153,97 @@ type Options struct {
 	MeasureInstrs uint64
 	// MaxCycles bounds each phase (default 50M).
 	MaxCycles uint64
+	// Sample, when enabled, switches measurement to SMARTS-style
+	// sampling: detail intervals of Sample.DetailInstrs committed
+	// instructions are measured in full cycle-level detail, separated by
+	// Sample.SkipInstrs instructions of functional fast-forward (no
+	// timing; caches and predictors stay warm). The zero value measures
+	// every instruction in detail.
+	Sample SampleSpec
+}
+
+// SampleSpec is a SMARTS-style sampled-measurement configuration, parsed
+// from the CLI notation "detail:N,skip:M[,warm:W]". Measurement
+// alternates detail intervals (N committed instructions, full cycle-level
+// simulation) with functional fast-forward gaps (M instructions, no
+// timing) until MeasureInstrs instructions have been measured in detail.
+// The pipeline is drained between an interval and the following gap so
+// every interval starts from an architecturally clean boundary; the
+// optional warm:W component runs W instructions of detailed simulation
+// before each interval, excluded from measurement, to refill the pipeline
+// and re-establish policy-dependent in-flight state (SMARTS "detailed
+// warming" — without it, policies whose behavior hinges on in-flight
+// misses, FLUSH and STALL above all, are measured from an unrepresentative
+// empty-pipeline state). Per-cell speedup is roughly (N+M)/(N+W), and the
+// per-interval IPC spread yields a measured confidence bound on the
+// sampled estimate (Result.IPCCI95).
+type SampleSpec struct {
+	// DetailInstrs is the committed-instruction length of each detail
+	// interval (the N in "detail:N,skip:M").
+	DetailInstrs uint64
+	// SkipInstrs is the number of instructions fast-forwarded
+	// functionally between detail intervals (the M).
+	SkipInstrs uint64
+	// WarmInstrs is the optional detailed-warming length: instructions
+	// simulated in full detail immediately before each interval but
+	// excluded from the measurement (the W in "warm:W"; 0 disables).
+	WarmInstrs uint64
+}
+
+// Enabled reports whether the spec turns sampling on.
+func (sp SampleSpec) Enabled() bool { return sp.DetailInstrs > 0 }
+
+// String renders the CLI notation; the zero (disabled) spec renders "".
+func (sp SampleSpec) String() string {
+	if !sp.Enabled() {
+		return ""
+	}
+	if sp.WarmInstrs > 0 {
+		return fmt.Sprintf("detail:%d,skip:%d,warm:%d", sp.DetailInstrs, sp.SkipInstrs, sp.WarmInstrs)
+	}
+	return fmt.Sprintf("detail:%d,skip:%d", sp.DetailInstrs, sp.SkipInstrs)
+}
+
+// ParseSample parses "detail:N,skip:M[,warm:W]" (detail and skip
+// required, all counts positive, in any order). The empty string is the
+// disabled spec.
+func ParseSample(s string) (SampleSpec, error) {
+	var sp SampleSpec
+	if s == "" {
+		return sp, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return SampleSpec{}, fmt.Errorf("smtfetch: bad sample component %q (want detail:N,skip:M)", part)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return SampleSpec{}, fmt.Errorf("smtfetch: bad sample count in %q: %v", part, err)
+		}
+		if n == 0 {
+			return SampleSpec{}, fmt.Errorf("smtfetch: sample %s must be positive", k)
+		}
+		if seen[k] {
+			return SampleSpec{}, fmt.Errorf("smtfetch: duplicate sample key %q", k)
+		}
+		seen[k] = true
+		switch k {
+		case "detail":
+			sp.DetailInstrs = n
+		case "skip":
+			sp.SkipInstrs = n
+		case "warm":
+			sp.WarmInstrs = n
+		default:
+			return SampleSpec{}, fmt.Errorf("smtfetch: unknown sample key %q (want detail, skip, warm)", k)
+		}
+	}
+	if sp.DetailInstrs == 0 || sp.SkipInstrs == 0 {
+		return SampleSpec{}, fmt.Errorf("smtfetch: sample spec %q needs both detail:N and skip:M", s)
+	}
+	return sp, nil
 }
 
 func (o *Options) fill() error {
@@ -192,8 +286,16 @@ type Result struct {
 	// CondAccuracy is committed-path conditional branch prediction
 	// accuracy.
 	CondAccuracy float64
-	// Stats exposes all raw counters.
+	// Stats exposes all raw counters. For sampled runs they cover the
+	// detail intervals plus the drains between them, so derive IPC from
+	// the IPC field (the per-interval estimate), not from Stats.
 	Stats *stats.Stats
+	// SampleIntervals is the number of detail intervals a sampled run
+	// measured; 0 for full-detail runs.
+	SampleIntervals int
+	// IPCCI95 is the 95% confidence half-width of the sampled IPC
+	// estimate, from the per-interval spread; 0 for full-detail runs.
+	IPCCI95 float64
 }
 
 // Simulator is a configured simulation instance for callers that need
@@ -234,20 +336,121 @@ func New(opts Options) (*Simulator, error) {
 // Core exposes the underlying cycle-level simulator.
 func (s *Simulator) Core() *core.Sim { return s.sim }
 
-// Run executes warm-up then measurement and returns the result.
-func (s *Simulator) Run() *Result {
+// Warm runs the warm-up phases (instruction-based, then the optional
+// cycle-based one) without resetting statistics. A warm simulator can be
+// checkpointed with Core().Snapshot() and later forked into measurement
+// via Core().Restore() + Measure().
+func (s *Simulator) Warm() {
 	s.sim.Run(s.opts.WarmupInstrs, s.opts.MaxCycles)
 	if s.opts.WarmupCycles > 0 {
 		s.sim.RunCycles(s.opts.WarmupCycles)
 	}
+}
+
+// Measure resets statistics and runs the measurement phase — in full
+// detail by default, SMARTS-style sampled when Options.Sample is set.
+func (s *Simulator) Measure() (*Result, error) {
 	s.sim.ResetStats()
-	st := s.sim.Run(s.opts.MeasureInstrs, s.opts.MaxCycles)
-	return &Result{
-		IPC:          st.IPC(),
-		IPFC:         st.IPFC(),
-		CondAccuracy: st.CondAccuracy(),
-		Stats:        st,
+	if !s.opts.Sample.Enabled() {
+		st := s.sim.Run(s.opts.MeasureInstrs, s.opts.MaxCycles)
+		return &Result{
+			IPC:          st.IPC(),
+			IPFC:         st.IPFC(),
+			CondAccuracy: st.CondAccuracy(),
+			Stats:        st,
+		}, nil
 	}
+	return s.measureSampled()
+}
+
+// measureSampled alternates detail intervals with drain + functional
+// fast-forward until MeasureInstrs instructions have been measured in
+// detail. Interval IPC is taken over the detail window only (the drain
+// cycles fall between windows, and the optional detailed warming runs
+// before the window's start marker), and the run-level estimate is the
+// mean of the interval IPCs with a 1.96·s/√k confidence half-width.
+func (s *Simulator) measureSampled() (*Result, error) {
+	sp := s.opts.Sample
+	var ipcs []float64
+	var measured uint64
+	// Per-thread commit counts accumulated across every detailed chunk
+	// (warming included) become the fast-forward shares below, so the
+	// policy-dependent thread-progress skew observed in detail keeps
+	// accumulating through the functional gaps. Cumulative counts — not
+	// per-interval deltas — deliberately damp the estimate: apportioning a
+	// gap at the previous interval's instantaneous skew feeds the skew
+	// back on itself and runs away on 4-thread mixes.
+	shares := make([]uint64, len(s.sim.Stats().PerThread))
+	pt0 := make([]uint64, len(shares))
+	for t, ts := range s.sim.Stats().PerThread {
+		pt0[t] = ts.Committed
+	}
+	for measured < s.opts.MeasureInstrs {
+		if sp.WarmInstrs > 0 {
+			s.sim.Run(sp.WarmInstrs, s.opts.MaxCycles)
+		}
+		st := s.sim.Stats()
+		c0, i0 := st.Cycles, st.Committed
+		s.sim.Run(sp.DetailInstrs, s.opts.MaxCycles)
+		st = s.sim.Stats()
+		dc, di := st.Cycles-c0, st.Committed-i0
+		if dc == 0 || di == 0 {
+			return nil, fmt.Errorf("smtfetch: sampled detail interval made no progress (cycle bound %d too small?)", s.opts.MaxCycles)
+		}
+		ipcs = append(ipcs, float64(di)/float64(dc))
+		measured += di
+		if measured >= s.opts.MeasureInstrs {
+			break
+		}
+		for t, ts := range st.PerThread {
+			shares[t] = ts.Committed - pt0[t]
+		}
+		// Empty the pipeline so the fast-forward hands the front-end an
+		// architecturally clean boundary, then skip ahead without timing,
+		// apportioning progress at the interval's per-thread commit ratio.
+		if err := s.sim.Drain(s.opts.MaxCycles); err != nil {
+			return nil, err
+		}
+		if err := s.sim.FastForwardShares(sp.SkipInstrs, shares); err != nil {
+			return nil, err
+		}
+	}
+	mean, ci := meanCI95(ipcs)
+	st := s.sim.Stats()
+	return &Result{
+		IPC:             mean,
+		IPFC:            st.IPFC(),
+		CondAccuracy:    st.CondAccuracy(),
+		Stats:           st,
+		SampleIntervals: len(ipcs),
+		IPCCI95:         ci,
+	}, nil
+}
+
+// meanCI95 returns the sample mean and the 95% confidence half-width
+// (1.96 standard errors) of xs; the half-width is 0 for fewer than two
+// samples.
+func meanCI95(xs []float64) (mean, ci float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, 1.96 * math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+}
+
+// Run executes warm-up then measurement and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	s.Warm()
+	return s.Measure()
 }
 
 // Run is the one-call API: build a simulator from opts, run it, and return
@@ -257,7 +460,7 @@ func Run(opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Run(), nil
+	return s.Run()
 }
 
 // Workloads returns the Table 2 workload names in paper order.
