@@ -4,6 +4,7 @@
 //	smtfetch sweep   -workloads 2_MIX,4_MIX -jobs 8 -o results.json
 //	smtfetch sweep   -server http://127.0.0.1:8080 -workloads 2_MIX -o results.json
 //	smtfetch serve   -addr 127.0.0.1:8080 -cache-file cache.json
+//	smtfetch coordinate -addr 127.0.0.1:8090 -workers http://10.0.0.1:8080,http://10.0.0.2:8080
 //	smtfetch list
 //	smtfetch compare old.json new.json -tol 0.02
 //
@@ -33,6 +34,7 @@ import (
 
 	"smtfetch"
 	"smtfetch/internal/bench"
+	"smtfetch/internal/cluster"
 	"smtfetch/internal/experiment"
 	"smtfetch/internal/server"
 )
@@ -50,6 +52,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "coordinate":
+		err = cmdCoordinate(os.Args[2:])
 	case "list":
 		err = cmdList(os.Args[2:])
 	case "compare":
@@ -83,6 +87,8 @@ commands:
   sweep      run an engine x policy x workload x seed grid in parallel
              (or dispatch it to a sweep server with -server URL)
   serve      long-running HTTP sweep service with a content-keyed result cache
+  coordinate front a fleet of sweep servers as one service: cells shard
+             across workers by rendezvous hashing, failures re-dispatch
   list       print the available engines, policies, workloads, benchmarks
   compare    diff two sweep results files and flag IPC regressions
              (multi-seed cell-groups gate on 95% CI overlap)
@@ -568,6 +574,86 @@ func cmdServe(args []string) error {
 		}
 	} else if *cacheFile != "" {
 		fmt.Fprintf(os.Stderr, "smtfetch serve: cache saved to %s\n", *cacheFile)
+	}
+	return err
+}
+
+// parseCoordinateFlags parses the coordinate subcommand into a listen
+// address and a cluster configuration (split out for flag tests).
+func parseCoordinateFlags(args []string) (addr string, cfg cluster.Config, err error) {
+	fs := flag.NewFlagSet("coordinate", flag.ContinueOnError)
+	addrFlag := fs.String("addr", "127.0.0.1:8090", "listen address (use :0 for a random port)")
+	workers := fs.String("workers", "", "comma-separated worker base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+	syncLimit := fs.Int("sync-limit", 16, "largest grid answered synchronously (streamed); bigger grids get a job ID (-1 = everything async)")
+	jobs := fs.Int("jobs", 0, "concurrent cell dispatches across the fleet (0 = 4 per worker)")
+	window := fs.Int("window", 0, "streamed-merge reorder window in cells (0 = 2 x jobs)")
+	probe := fs.Duration("probe-interval", 5*time.Second, "worker health-probe period, and the base of the dead-worker probe backoff")
+	if err := fs.Parse(args); err != nil {
+		return "", cluster.Config{}, err
+	}
+	urls := splitList(*workers)
+	if len(urls) == 0 {
+		return "", cluster.Config{}, fmt.Errorf("coordinate: -workers is required (comma-separated sweep-server URLs)")
+	}
+	return *addrFlag, cluster.Config{
+		Workers:       urls,
+		SyncCellLimit: *syncLimit,
+		Jobs:          *jobs,
+		Window:        *window,
+		ProbeInterval: *probe,
+	}, nil
+}
+
+// cmdCoordinate fronts a fleet of `smtfetch serve` workers as a single
+// sweep service: `sweep -server` clients point at the coordinator and
+// cannot tell it from one big worker. The shutdown ordering mirrors
+// serve: stop accepting, drain running jobs, then exit — the workers own
+// all cache state, so there is nothing to persist here.
+func cmdCoordinate(args []string) error {
+	addr, cfg, err := parseCoordinateFlags(args)
+	if err != nil {
+		return err
+	}
+	co, err := cluster.New(cfg)
+	if err != nil {
+		return err
+	}
+	co.ProbeAll() // fail loudly at startup if the fleet is unreachable or incompatible
+	for _, ws := range co.ClusterStats().Workers {
+		status := "alive"
+		if !ws.Alive {
+			status = "DOWN: " + ws.LastError
+		}
+		fmt.Fprintf(os.Stderr, "smtfetch coordinate: worker %s: %s\n", ws.URL, status)
+	}
+	co.Start(cfg.ProbeInterval)
+	defer co.Stop()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "smtfetch coordinate: listening on http://%s, %d workers\n", ln.Addr(), len(cfg.Workers))
+
+	httpSrv := &http.Server{Handler: co}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		fmt.Fprintln(os.Stderr, "smtfetch coordinate: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	err = httpSrv.Serve(ln)
+	if err == http.ErrServerClosed {
+		<-shutdownDone
+		// Drain running grids so polling clients see their jobs finish.
+		co.WaitJobs()
+		err = nil
 	}
 	return err
 }

@@ -1,0 +1,86 @@
+package cluster_test
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"smtfetch/internal/cluster/clustertest"
+)
+
+// TestClusterChaosKillRestart runs the 7-policy × 2-workload acceptance
+// grid while a seeded schedule kills and revives random workers between
+// dispatches. Whatever the schedule does, two invariants must hold:
+//
+//  1. the merged document is byte-identical to a local sweep, and
+//  2. the fleet simulated each cell exactly once (kills strike at
+//     request admission, before the worker is reached, so a re-dispatched
+//     cell never ran on the victim).
+//
+// The schedule is deterministic per seed — victims are drawn from the
+// seeded generator, kill/revive points are fixed request ordinals — and
+// the seed plus the full transport log print on failure, so any failing
+// schedule replays exactly.
+func TestClusterChaosKillRestart(t *testing.T) {
+	want := clustertest.LocalRun(t, paperGrid())
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := clustertest.Start(t, 3, clustertest.Options{})
+			urls := make([]string, len(c.Workers))
+			for i, w := range c.Workers {
+				urls[i] = w.URL
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			var mu sync.Mutex
+			reqs := 0
+			c.Transport.OnRequest = func(*http.Request) {
+				mu.Lock()
+				defer mu.Unlock()
+				reqs++
+				switch reqs {
+				case 3, 11: // kill a random worker, never the last live one
+					var live []string
+					for _, u := range urls {
+						if !c.Transport.Killed(u) {
+							live = append(live, u)
+						}
+					}
+					if len(live) > 1 {
+						c.Transport.Kill(live[rng.Intn(len(live))])
+					}
+				case 8: // revive a random dead worker, if any
+					var dead []string
+					for _, u := range urls {
+						if c.Transport.Killed(u) {
+							dead = append(dead, u)
+						}
+					}
+					if len(dead) > 0 {
+						c.Transport.Revive(dead[rng.Intn(len(dead))])
+					}
+				}
+			}
+
+			got := c.MustSweep(t, paperGrid())
+			ctx := fmt.Sprintf("chaos seed %d\nschedule:\n%s", seed, strings.Join(c.Transport.Log(), "\n"))
+			clustertest.AssertIdentical(t, got, want, ctx)
+			if n := c.TotalMisses(); n != 14 {
+				t.Fatalf("fleet simulated %d cells, want exactly 14 — a kill caused a double simulation or a lost cell\nseed %d, schedule:\n%s",
+					n, seed, strings.Join(c.Transport.Log(), "\n"))
+			}
+			kills := 0
+			for _, line := range c.Transport.Log() {
+				if strings.HasPrefix(line, "KILL ") {
+					kills++
+				}
+			}
+			if kills == 0 {
+				t.Fatalf("schedule for seed %d killed nobody — chaos test proved nothing", seed)
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package clustertest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"smtfetch/internal/cluster"
+	"smtfetch/internal/experiment"
+	"smtfetch/internal/server"
+)
+
+// Worker is one in-process sweep server and its HTTP listener.
+type Worker struct {
+	Server *server.Server
+	HTTP   *httptest.Server
+	URL    string
+}
+
+// CacheStats snapshots the worker's result-cache counters — the
+// accounting tests use to prove "no cell simulated twice": every
+// simulation is exactly one cache miss on exactly one worker.
+func (w *Worker) CacheStats() server.CacheStats { return w.Server.CacheStats() }
+
+// Cluster is a coordinator fronting N in-process workers, with all
+// coordinator→worker traffic routed through a fault-injecting Transport.
+// Requests TO the coordinator (what a `sweep -server` client sends) use
+// a plain client and are never faulted: tests script worker failures and
+// assert the coordinator still answers perfectly.
+type Cluster struct {
+	Transport   *Transport
+	Coordinator *cluster.Coordinator
+	HTTP        *httptest.Server
+	URL         string
+	Workers     []*Worker
+}
+
+// Options tunes the harness; the zero value works for most tests.
+type Options struct {
+	// Worker configures each in-process sweep server.
+	Worker server.Config
+	// Cluster configures the coordinator. Workers and HTTPClient are
+	// overwritten by the harness; everything else passes through — tests
+	// needing a pinned probe-backoff schedule inject Cluster.Now.
+	Cluster cluster.Config
+}
+
+// Start builds n workers and a coordinator over them, all in-process,
+// and registers cleanup with tb. The coordinator's HTTP client is wired
+// through the returned Transport, so faults scripted on it hit exactly
+// the coordinator→worker path.
+func Start(tb testing.TB, n int, opts Options) *Cluster {
+	tb.Helper()
+	if n < 1 {
+		tb.Fatalf("clustertest: need at least 1 worker, got %d", n)
+	}
+	c := &Cluster{Transport: NewTransport(nil)}
+	urls := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		srv, err := server.New(opts.Worker)
+		if err != nil {
+			tb.Fatalf("clustertest: worker %d: %v", i, err)
+		}
+		ts := httptest.NewServer(srv)
+		tb.Cleanup(ts.Close)
+		c.Workers = append(c.Workers, &Worker{Server: srv, HTTP: ts, URL: ts.URL})
+		urls = append(urls, ts.URL)
+	}
+
+	cfg := opts.Cluster
+	cfg.Workers = urls
+	cfg.HTTPClient = &http.Client{Transport: c.Transport, Timeout: time.Minute}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = time.Millisecond
+	}
+	co, err := cluster.New(cfg)
+	if err != nil {
+		tb.Fatalf("clustertest: coordinator: %v", err)
+	}
+	c.Coordinator = co
+	tb.Cleanup(co.Stop)
+	c.HTTP = httptest.NewServer(co)
+	tb.Cleanup(c.HTTP.Close)
+	c.URL = c.HTTP.URL
+	return c
+}
+
+// Kill marks worker i dead at the transport (connection-refused until
+// Revive), like its process crashing. The worker's in-memory state —
+// cache contents included — survives, matching a process that is
+// partitioned rather than wiped.
+func (c *Cluster) Kill(i int) { c.Transport.Kill(c.Workers[i].URL) }
+
+// Revive brings worker i back.
+func (c *Cluster) Revive(i int) { c.Transport.Revive(c.Workers[i].URL) }
+
+// Sweep posts req to the coordinator and returns the merged results
+// document, transparently polling if the coordinator answers with a job.
+func (c *Cluster) Sweep(req server.SweepRequest) ([]byte, error) {
+	cl := &server.Client{BaseURL: c.URL, HTTPClient: c.HTTP.Client(), PollInterval: time.Millisecond}
+	return cl.Sweep(req)
+}
+
+// MustSweep is Sweep failing the test on error.
+func (c *Cluster) MustSweep(tb testing.TB, req server.SweepRequest) []byte {
+	tb.Helper()
+	blob, err := c.Sweep(req)
+	if err != nil {
+		tb.Fatalf("clustertest: sweep through coordinator: %v\ntransport log:\n%s", err, joinLog(c.Transport.Log()))
+	}
+	return blob
+}
+
+// TotalMisses sums result-cache misses across all workers: with the
+// cluster single-flight working, this equals the number of distinct
+// content keys simulated, regardless of faults, retries, or overlap.
+func (c *Cluster) TotalMisses() uint64 {
+	var n uint64
+	for _, w := range c.Workers {
+		n += w.CacheStats().Misses
+	}
+	return n
+}
+
+// LocalRun executes the same request locally (no servers) and returns
+// the canonical results document — the byte-identity oracle.
+func LocalRun(tb testing.TB, req server.SweepRequest) []byte {
+	tb.Helper()
+	sw, err := req.Sweep()
+	if err != nil {
+		tb.Fatalf("clustertest: local sweep: %v", err)
+	}
+	rs, err := sw.Run()
+	if err != nil {
+		tb.Fatalf("clustertest: local sweep: %v", err)
+	}
+	blob, err := experiment.MarshalJSONResults(rs)
+	if err != nil {
+		tb.Fatalf("clustertest: local sweep: %v", err)
+	}
+	return blob
+}
+
+// AssertIdentical fails the test (with the transport log, so a scripted
+// or seeded fault schedule is reconstructible) unless got == want.
+func AssertIdentical(tb testing.TB, got, want []byte, context string) {
+	tb.Helper()
+	if bytes.Equal(got, want) {
+		return
+	}
+	tb.Fatalf("clustertest: %s: merged document differs from local run\ngot %d bytes:\n%s\nwant %d bytes:\n%s",
+		context, len(got), clip(got), len(want), clip(want))
+}
+
+func clip(b []byte) string {
+	const max = 4096
+	if len(b) <= max {
+		return string(b)
+	}
+	return string(b[:max]) + fmt.Sprintf("\n... (%d more bytes)", len(b)-max)
+}
+
+func joinLog(lines []string) string {
+	var buf bytes.Buffer
+	for _, l := range lines {
+		buf.WriteString("  ")
+		buf.WriteString(l)
+		buf.WriteByte('\n')
+	}
+	if buf.Len() == 0 {
+		buf.WriteString("  (no requests)\n")
+	}
+	return buf.String()
+}
+
+// Get issues a GET against the coordinator (for /cluster/stats,
+// /healthz) and returns status and body.
+func (c *Cluster) Get(path string) (int, []byte, error) {
+	resp, err := c.HTTP.Client().Get(c.URL + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}

@@ -1,0 +1,255 @@
+// Package clustertest is the deterministic test harness for the cluster
+// coordinator: it spins N real in-process sweep workers behind a
+// coordinator and routes every coordinator→worker request through a
+// fault-injecting http.RoundTripper that can kill, reset, hang, or 5xx
+// individual requests by target, path, body content, and request
+// ordinal. Every failure mode the cluster defends against is reproduced
+// in-process, scripted, and without a single real sleep: a "hung"
+// request returns a synthesized net.Error timeout immediately, a
+// "killed" worker refuses connections at the transport, and the workers
+// themselves never misbehave — so tests assert on exact cache-stats
+// accounting instead of racing wall clocks.
+package clustertest
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Fault is an injected failure mode for one matched request.
+type Fault int
+
+const (
+	// FaultNone passes the request through.
+	FaultNone Fault = iota
+	// FaultKill fails the request with a connection error AND marks the
+	// worker dead: every later request to it fails until Revive. This
+	// models a crashed worker process.
+	FaultKill
+	// FaultReset fails this one request with a connection error; the
+	// worker stays up. This models a dropped connection mid-dialogue.
+	FaultReset
+	// FaultHang fails the request with a net.Error timeout — the
+	// deterministic stand-in for a worker that accepts the connection
+	// and never answers. No real time passes.
+	FaultHang
+	// Fault5xx answers 500 without the request reaching the worker.
+	Fault5xx
+)
+
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultKill:
+		return "kill"
+	case FaultReset:
+		return "reset"
+	case FaultHang:
+		return "hang"
+	case Fault5xx:
+		return "5xx"
+	}
+	return fmt.Sprintf("Fault(%d)", int(f))
+}
+
+// Rule scripts one fault. Zero-valued match fields match everything, so
+// {Fault: FaultReset, Ordinal: 3} means "reset the 3rd request overall"
+// and {Host: w2, Path: "/sweep", BodyContains: "FLUSH.2.8", Ordinal: 1,
+// Fault: FaultKill} means "kill worker w2 the first time it is asked for
+// a FLUSH.2.8 cell".
+type Rule struct {
+	// Host matches the target authority ("127.0.0.1:4242"); "" = any.
+	Host string
+	// Path matches by URL-path prefix; "" = any.
+	Path string
+	// BodyContains matches a substring of the request body (cell keys,
+	// policy names, workload names in /sweep posts); "" = any.
+	BodyContains string
+	// Ordinal fires on the Nth request THIS RULE matches (1-based) and
+	// never again; 0 fires on every match.
+	Ordinal int
+	// Fault is what happens to a fired request.
+	Fault Fault
+
+	matched int
+}
+
+// timeoutError is the synthesized net.Error for FaultHang.
+type timeoutError struct{ target string }
+
+func (e *timeoutError) Error() string   { return "clustertest: injected timeout waiting for " + e.target }
+func (e *timeoutError) Timeout() bool   { return true }
+func (e *timeoutError) Temporary() bool { return true }
+
+// Transport is the fault-injecting http.RoundTripper. It wraps a real
+// transport (the one that reaches the in-process httptest workers) and
+// applies scripted Rules plus the kill/revive worker state. All methods
+// are safe for concurrent use.
+type Transport struct {
+	// Base performs un-faulted requests; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// OnRequest, when non-nil, runs before fault evaluation on every
+	// request (without the transport lock held). Chaos tests use it to
+	// drive seeded kill/revive schedules keyed on request count.
+	OnRequest func(req *http.Request)
+
+	mu     sync.Mutex
+	rules  []*Rule
+	killed map[string]bool
+	log    []string
+}
+
+// NewTransport wraps base (nil = http.DefaultTransport).
+func NewTransport(base http.RoundTripper) *Transport {
+	return &Transport{Base: base, killed: map[string]bool{}}
+}
+
+// Script appends fault rules. Rules are evaluated in the order added;
+// the first rule that fires decides the request's fate.
+func (t *Transport) Script(rules ...*Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rules = append(t.rules, rules...)
+}
+
+// Kill marks a worker (by URL or host) dead: every request to it fails
+// with a connection error until Revive.
+func (t *Transport) Kill(target string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.killed[hostOf(target)] = true
+	t.log = append(t.log, "KILL "+hostOf(target))
+}
+
+// Revive brings a killed worker back.
+func (t *Transport) Revive(target string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.killed, hostOf(target))
+	t.log = append(t.log, "REVIVE "+hostOf(target))
+}
+
+// Killed reports whether a worker is currently marked dead.
+func (t *Transport) Killed(target string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.killed[hostOf(target)]
+}
+
+// Log returns the request/fault history, one line per event — printed by
+// failing chaos tests so a seeded schedule is reconstructible.
+func (t *Transport) Log() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.log...)
+}
+
+// hostOf accepts "http://127.0.0.1:4242/", "127.0.0.1:4242" or a full
+// URL and returns the bare authority.
+func hostOf(target string) string {
+	s := target
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// body returns the request body for matching without consuming it.
+// Requests built by the server client always carry GetBody (bytes
+// readers); requests without one match as empty.
+func body(req *http.Request) string {
+	if req.GetBody == nil {
+		return ""
+	}
+	rc, err := req.GetBody()
+	if err != nil {
+		return ""
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *Rule) matches(req *http.Request, reqBody string) bool {
+	if r.Host != "" && hostOf(r.Host) != req.URL.Host {
+		return false
+	}
+	if r.Path != "" && !strings.HasPrefix(req.URL.Path, r.Path) {
+		return false
+	}
+	if r.BodyContains != "" && !strings.Contains(reqBody, r.BodyContains) {
+		return false
+	}
+	return true
+}
+
+// RoundTrip applies the kill set and scripted rules, then delegates
+// un-faulted requests to the base transport.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.OnRequest != nil {
+		t.OnRequest(req)
+	}
+	reqBody := body(req)
+
+	t.mu.Lock()
+	line := fmt.Sprintf("%s %s%s", req.Method, req.URL.Host, req.URL.Path)
+	fault := FaultNone
+	if t.killed[req.URL.Host] {
+		fault = FaultKill
+		line += " [worker down]"
+	} else {
+		for _, r := range t.rules {
+			if !r.matches(req, reqBody) {
+				continue
+			}
+			r.matched++
+			if r.Ordinal != 0 && r.matched != r.Ordinal {
+				continue
+			}
+			if fault == FaultNone { // first firing rule wins; later rules still count matches
+				fault = r.Fault
+				line += " [injected " + fault.String() + "]"
+			}
+		}
+	}
+	if fault == FaultKill && !t.killed[req.URL.Host] {
+		t.killed[req.URL.Host] = true
+	}
+	t.log = append(t.log, line)
+	t.mu.Unlock()
+
+	switch fault {
+	case FaultKill, FaultReset:
+		return nil, fmt.Errorf("clustertest: injected connection error to %s (%s)", req.URL.Host, fault)
+	case FaultHang:
+		return nil, &timeoutError{target: req.URL.Host}
+	case Fault5xx:
+		const msg = "clustertest: injected server error\n"
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader(msg)),
+			ContentLength: int64(len(msg)),
+			Request:       req,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

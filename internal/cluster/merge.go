@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"sync"
+
+	"smtfetch/internal/experiment"
+)
+
+// runOrdered executes fetch over every cell on `jobs` workers and emits
+// the results strictly in cell order, buffering at most `window` results
+// that are in flight or waiting for an earlier cell to finish. It is the
+// streamed replacement for run-everything-then-sort: the emit callback
+// sees results exactly as a sorted batch would have ordered them, but
+// memory stays bounded by the window regardless of grid size.
+//
+// The window also acts as dispatch flow control: cell i+window is not
+// handed to a worker until cell i has been emitted, so one slow cell at
+// the head throttles the fleet instead of letting completed results pile
+// up without bound behind it.
+//
+// An emit error stops further writing but still drains every in-flight
+// fetch (workers must not leak); the first emit error is returned.
+func runOrdered(cells []experiment.Cell, jobs, window int, fetch func(experiment.Cell) experiment.Result, emit func(experiment.Result) error) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	if jobs > len(cells) {
+		jobs = len(cells)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if window < jobs {
+		window = jobs
+	}
+
+	type indexed struct {
+		i int
+		r experiment.Result
+	}
+	// outstanding counts dispatched-but-not-yet-emitted cells; the feeder
+	// acquires before handing an index out, the emit loop releases.
+	outstanding := make(chan struct{}, window)
+	indices := make(chan int)
+	results := make(chan indexed)
+
+	go func() {
+		for i := range cells {
+			outstanding <- struct{}{}
+			indices <- i
+		}
+		close(indices)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results <- indexed{i, fetch(cells[i])}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder buffer: results arrive in completion order, leave in cell
+	// order. Because indices are dispatched in order, the next-to-emit
+	// cell is always already dispatched, so progress is guaranteed.
+	pending := make(map[int]experiment.Result, window)
+	next := 0
+	var emitErr error
+	for ir := range results {
+		pending[ir.i] = ir.r
+		for {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if emitErr == nil {
+				emitErr = emit(r)
+			}
+			<-outstanding
+			next++
+		}
+	}
+	return emitErr
+}

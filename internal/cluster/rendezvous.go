@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"smtfetch/internal/experiment"
+)
+
+// rendezvousScore is the highest-random-weight score of (worker, key):
+// FNV-64a over the worker URL and the routing key with a separator that
+// cannot appear in a URL authority. Each worker scores every key
+// independently, so adding or removing a worker reorders nothing between
+// the surviving workers — a new worker only takes the keys it now scores
+// highest on (its own fair share), which keeps worker caches warm across
+// fleet changes.
+func rendezvousScore(workerURL, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(workerURL))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 finalizes the FNV sum with a SplitMix64-style avalanche. Raw FNV
+// is byte-sequential: two (worker, key) pairs sharing a long common
+// suffix keep correlated scores, which in rendezvous ranking turns into
+// badly skewed shards (measurably: one worker of three owning zero cells
+// of a 60-cell grid). The finalizer spreads every input bit across the
+// whole score, restoring the near-uniform split HRW assumes.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// rank orders the fleet for key: primary owner first, then the fallback
+// chain a re-dispatch walks when the owner is dead or failing. Ties (a
+// 64-bit hash collision) break on URL so the order is always total.
+func (co *Coordinator) rank(key string) []*worker {
+	ranked := make([]*worker, len(co.workers))
+	copy(ranked, co.workers)
+	scores := make(map[*worker]uint64, len(ranked))
+	for _, wk := range ranked {
+		scores[wk] = rendezvousScore(wk.url, key)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i]], scores[ranked[j]]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].url < ranked[j].url
+	})
+	return ranked
+}
+
+// routingKey selects what a cell is sharded by. Plain sweeps route by the
+// cell key, spreading the grid evenly. Warm-fork sweeps route by the
+// group's warm key instead: every cell of a (workload, engine, shape,
+// seed) warm group must land on ONE worker so the group's checkpoint is
+// built once, in that worker's snapshot tier, rather than once per
+// worker the group's cells happen to scatter across.
+func routingKey(sw *experiment.Sweep, c experiment.Cell) string {
+	if sw.WarmFork != experiment.WarmForkOff {
+		return "warm/" + sw.WarmKey(c)
+	}
+	return c.Key()
+}

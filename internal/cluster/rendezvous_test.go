@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"smtfetch/internal/experiment"
+)
+
+func testCoordinator(t *testing.T, urls ...string) *Coordinator {
+	t.Helper()
+	co, err := New(Config{Workers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Stop)
+	return co
+}
+
+func rankedURLs(co *Coordinator, key string) []string {
+	var out []string
+	for _, wk := range co.rank(key) {
+		out = append(out, wk.url)
+	}
+	return out
+}
+
+func TestRankDeterministicAndTotal(t *testing.T) {
+	co := testCoordinator(t, "http://a:1", "http://b:1", "http://c:1")
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("2_MIX/gshare+BTB/ICOUNT.1.8/%d", i)
+		first := rankedURLs(co, key)
+		if len(first) != 3 {
+			t.Fatalf("rank(%q) has %d workers, want 3", key, len(first))
+		}
+		for rep := 0; rep < 3; rep++ {
+			if got := rankedURLs(co, key); fmt.Sprint(got) != fmt.Sprint(first) {
+				t.Fatalf("rank(%q) not deterministic: %v then %v", key, first, got)
+			}
+		}
+	}
+}
+
+// TestRankSpreadsKeys: rendezvous hashing must actually shard — every
+// worker in a 3-fleet owns a nontrivial share of a 60-cell grid.
+func TestRankSpreadsKeys(t *testing.T) {
+	co := testCoordinator(t, "http://a:1", "http://b:1", "http://c:1")
+	owners := map[string]int{}
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("2_MIX/stream/FLUSH.2.8/%d", i)
+		owners[rankedURLs(co, key)[0]]++
+	}
+	for _, u := range []string{"http://a:1", "http://b:1", "http://c:1"} {
+		if owners[u] == 0 {
+			t.Fatalf("worker %s owns no keys out of 60: %v", u, owners)
+		}
+	}
+}
+
+// TestRankAddingWorkerOnlyMovesItsShare pins the HRW property the design
+// depends on for cache warmth: growing the fleet never reshuffles keys
+// between surviving workers — the relative order of the old workers is
+// identical in the grown fleet's ranking, so a key changes owner only if
+// the NEW worker took it.
+func TestRankAddingWorkerOnlyMovesItsShare(t *testing.T) {
+	old := testCoordinator(t, "http://a:1", "http://b:1", "http://c:1")
+	grown := testCoordinator(t, "http://a:1", "http://b:1", "http://c:1", "http://d:1")
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("4_INT/gskew+FTB/STALL.1.16/%d", i)
+		before := rankedURLs(old, key)
+		after := rankedURLs(grown, key)
+		var survivors []string
+		for _, u := range after {
+			if u != "http://d:1" {
+				survivors = append(survivors, u)
+			}
+		}
+		if fmt.Sprint(survivors) != fmt.Sprint(before) {
+			t.Fatalf("key %q: survivor order changed: %v -> %v", key, before, survivors)
+		}
+		if after[0] != before[0] {
+			if after[0] != "http://d:1" {
+				t.Fatalf("key %q moved from %s to %s, not to the new worker", key, before[0], after[0])
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new worker took no keys out of 200 — not sharding")
+	}
+	if moved > 150 {
+		t.Fatalf("new worker took %d/200 keys — far beyond its fair share", moved)
+	}
+}
+
+// TestRoutingKeyWarmForkAffinity: warm-fork sweeps route whole warm
+// groups (same workload/engine/shape/seed, any policy) to one worker.
+func TestRoutingKeyWarmForkAffinity(t *testing.T) {
+	req := experiment.Sweep{WarmFork: "fork"}
+	sw := &req
+	a := experiment.Cell{Workload: "2_MIX", Seed: 3}
+	b := a
+	c := a
+	b.Policy.Policy = 1 // different policy, same warm group
+	c.Seed = 4          // different seed, different warm group
+	if routingKey(sw, a) != routingKey(sw, b) {
+		t.Fatalf("same warm group routed differently: %q vs %q", routingKey(sw, a), routingKey(sw, b))
+	}
+	if routingKey(sw, a) == routingKey(sw, c) {
+		t.Fatal("different warm groups share a routing key")
+	}
+	plain := &experiment.Sweep{}
+	if routingKey(plain, a) == routingKey(plain, b) {
+		t.Fatal("plain sweep routed two distinct cells identically")
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"smtfetch/internal/experiment"
+)
+
+// flightSweep/flightCell: one fixed cell so every fetchCell call shares a
+// content key.
+func flightFixture() (*experiment.Sweep, string, experiment.Cell) {
+	sw := &experiment.Sweep{}
+	c := experiment.Cell{Workload: "2_MIX", Seed: 1}
+	return sw, "fp", c
+}
+
+// TestFetchCellSingleFlight: while a dispatch for a key is in flight, no
+// second dispatch starts — callers park behind the leader and share its
+// result. Synchronization is entirely channel-based: the leader is held
+// inside dispatch, and testHookFlightWait confirms every other caller
+// has committed to the waiter path before the leader is released.
+func TestFetchCellSingleFlight(t *testing.T) {
+	co := testCoordinator(t, "http://unused:1")
+	sw, fp, cell := flightFixture()
+	want := experiment.Result{Workload: "2_MIX", Seed: 1, IPC: 1.25}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var dispatches int32
+	co.dispatch = func(*experiment.Sweep, experiment.Cell) experiment.Result {
+		if atomic.AddInt32(&dispatches, 1) == 1 {
+			close(started)
+		}
+		<-release
+		return want
+	}
+
+	const waiters = 8
+	parked := make(chan string, waiters)
+	testHookFlightWait = func(key string) { parked <- key }
+	defer func() { testHookFlightWait = nil }()
+
+	leaderDone := make(chan experiment.Result, 1)
+	go func() { leaderDone <- co.fetchCell(sw, fp, cell) }()
+	<-started // leader is inside dispatch; the flight entry exists
+
+	results := make(chan experiment.Result, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() { results <- co.fetchCell(sw, fp, cell) }()
+	}
+	for i := 0; i < waiters; i++ {
+		<-parked // each caller has seen the leader's entry and will wait
+	}
+	close(release)
+
+	for i := 0; i < waiters; i++ {
+		if got := <-results; got != want {
+			t.Fatalf("waiter got %+v, want %+v", got, want)
+		}
+	}
+	if got := <-leaderDone; got != want {
+		t.Fatalf("leader got %+v", got)
+	}
+	if n := atomic.LoadInt32(&dispatches); n != 1 {
+		t.Fatalf("dispatch ran %d times, want 1", n)
+	}
+}
+
+// TestFetchCellErrorNotShared: a leader whose dispatch produced an error
+// result does not poison its waiters — each waiter retries as a new
+// leader, exactly like the worker-level single-flight.
+func TestFetchCellErrorNotShared(t *testing.T) {
+	co := testCoordinator(t, "http://unused:1")
+	sw, fp, cell := flightFixture()
+	bad := experiment.Result{Workload: "2_MIX", Seed: 1, Error: "transient worker failure"}
+	good := experiment.Result{Workload: "2_MIX", Seed: 1, IPC: 1.25}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var dispatches int32
+	co.dispatch = func(*experiment.Sweep, experiment.Cell) experiment.Result {
+		n := atomic.AddInt32(&dispatches, 1)
+		if n == 1 {
+			close(started)
+			<-release
+			return bad
+		}
+		return good
+	}
+
+	parked := make(chan string, 1)
+	testHookFlightWait = func(key string) { parked <- key }
+	defer func() { testHookFlightWait = nil }()
+
+	leaderDone := make(chan experiment.Result, 1)
+	go func() { leaderDone <- co.fetchCell(sw, fp, cell) }()
+	<-started
+
+	waiterDone := make(chan experiment.Result, 1)
+	go func() { waiterDone <- co.fetchCell(sw, fp, cell) }()
+	<-parked // waiter is committed to waiting on the failing leader
+	close(release)
+
+	if got := <-leaderDone; got.Error == "" {
+		t.Fatalf("leader got %+v, want the error result", got)
+	}
+	if got := <-waiterDone; got != good {
+		t.Fatalf("waiter got %+v, want a fresh successful dispatch", got)
+	}
+	if n := atomic.LoadInt32(&dispatches); n != 2 {
+		t.Fatalf("dispatch ran %d times, want 2 (failed leader + retrying waiter)", n)
+	}
+}
+
+// TestFetchCellDistinctKeysDoNotBlock: single-flight is per content key;
+// a second cell proceeds while the first is in flight.
+func TestFetchCellDistinctKeysDoNotBlock(t *testing.T) {
+	co := testCoordinator(t, "http://unused:1")
+	sw, fp, cellA := flightFixture()
+	cellB := cellA
+	cellB.Seed = 2
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	co.dispatch = func(_ *experiment.Sweep, c experiment.Cell) experiment.Result {
+		if c.Seed == 1 {
+			close(started)
+			<-release
+		}
+		return experiment.Result{Workload: c.Workload, Seed: c.Seed}
+	}
+
+	aDone := make(chan experiment.Result, 1)
+	go func() { aDone <- co.fetchCell(sw, fp, cellA) }()
+	<-started
+
+	// With cell A's leader still blocked, cell B must complete: if the
+	// flight map were keyed too coarsely this receive would deadlock.
+	if got := co.fetchCell(sw, fp, cellB); got.Seed != 2 {
+		t.Fatalf("cell B got %+v", got)
+	}
+	close(release)
+	if got := <-aDone; got.Seed != 1 {
+		t.Fatalf("cell A got %+v", got)
+	}
+}

@@ -84,6 +84,31 @@ func SortResults(rs []Result) {
 	sort.Slice(rs, func(i, j int) bool { return lessResult(rs[i], rs[j]) })
 }
 
+// lessCell applies the lessResult ordering to not-yet-executed cells,
+// comparing the same (workload, engine name, policy name, seed) tuple a
+// cell's Result will carry. SortCells therefore pre-orders a cell list so
+// that results produced one-by-one in that order are already in
+// SortResults order — the property the cluster coordinator's streamed
+// merge depends on.
+func lessCell(a, b Cell) bool {
+	if a.Workload != b.Workload {
+		return a.Workload < b.Workload
+	}
+	if ae, be := a.Engine.String(), b.Engine.String(); ae != be {
+		return ae < be
+	}
+	if ap, bp := a.Policy.String(), b.Policy.String(); ap != bp {
+		return ap < bp
+	}
+	return a.Seed < b.Seed
+}
+
+// SortCells orders cells canonically: the results of executing them in
+// this order are in SortResults order.
+func SortCells(cells []Cell) {
+	sort.Slice(cells, func(i, j int) bool { return lessCell(cells[i], cells[j]) })
+}
+
 // resultsFile is the on-disk schema: a versioned envelope so future PRs can
 // evolve the format without breaking compare.
 type resultsFile struct {

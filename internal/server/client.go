@@ -20,9 +20,19 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval is the job-status polling period (0 = 500ms).
 	PollInterval time.Duration
+	// MaxPollFailures bounds CONSECUTIVE transient poll failures (network
+	// errors, 5xx) tolerated before the job is abandoned (0 = default 8).
+	// A single successful poll resets the count: a running job must not
+	// be abandoned because the server restarted its listener or a proxy
+	// hiccuped, but a server that stays unreachable eventually is.
+	MaxPollFailures int
 	// OnProgress, when non-nil, is called after each poll of an async
 	// job with the server-reported per-cell progress.
 	OnProgress func(done, total int)
+	// Sleep replaces time.Sleep between polls and backoff waits when
+	// non-nil. Tests inject a recorder so retry schedules are asserted
+	// without real delays.
+	Sleep func(time.Duration)
 }
 
 func (c *Client) http() *http.Client {
@@ -32,25 +42,41 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 func (c *Client) url(path string) string {
 	return strings.TrimSuffix(c.BaseURL, "/") + path
 }
 
 // get fetches path, requiring status 200.
 func (c *Client) get(path string) ([]byte, error) {
+	body, _, err := c.getStatus(path)
+	return body, err
+}
+
+// getStatus fetches path, returning the HTTP status code alongside the
+// error so callers can tell transient server failures (5xx) from
+// permanent ones (4xx). A transport-level failure reports status 0.
+func (c *Client) getStatus(path string) ([]byte, int, error) {
 	resp, err := c.http().Get(c.url(path))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, resp.StatusCode, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("server: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		return nil, resp.StatusCode, fmt.Errorf("server: GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
 	}
-	return body, nil
+	return body, resp.StatusCode, nil
 }
 
 // Sweep posts the request and returns the results-document bytes (the
@@ -84,18 +110,47 @@ func (c *Client) Sweep(req SweepRequest) ([]byte, error) {
 	}
 }
 
+// transientPoll reports whether a failed poll should be retried: yes for
+// transport errors (status 0: connection reset, dropped listener) and
+// server-side 5xx, no for 4xx — a 404 means the job was evicted and will
+// never reappear, so retrying would poll forever.
+func transientPoll(status int) bool {
+	return status == 0 || status >= 500
+}
+
 // wait polls a job until it leaves the running state, then fetches its
-// results document.
+// results document. Transient poll failures retry with exponential
+// backoff (interval, 2×interval, 4×…, capped at 16×) rather than
+// abandoning a job the server is still running; MaxPollFailures
+// consecutive failures give up.
 func (c *Client) wait(id string) ([]byte, error) {
 	interval := c.PollInterval
 	if interval <= 0 {
 		interval = 500 * time.Millisecond
 	}
+	maxFails := c.MaxPollFailures
+	if maxFails <= 0 {
+		maxFails = 8
+	}
+	fails := 0
 	for {
-		body, err := c.get("/jobs/" + id)
+		body, status, err := c.getStatus("/jobs/" + id)
 		if err != nil {
-			return nil, err
+			if !transientPoll(status) {
+				return nil, err
+			}
+			fails++
+			if fails >= maxFails {
+				return nil, fmt.Errorf("server: polling job %s failed %d times in a row: %w", id, fails, err)
+			}
+			backoff := interval << (fails - 1)
+			if lim := interval << 4; backoff > lim {
+				backoff = lim
+			}
+			c.sleep(backoff)
+			continue
 		}
+		fails = 0
 		var st JobStatus
 		if err := json.Unmarshal(body, &st); err != nil {
 			return nil, fmt.Errorf("server: bad job status: %w", err)
@@ -109,6 +164,6 @@ func (c *Client) wait(id string) ([]byte, error) {
 		case JobFailed:
 			return nil, fmt.Errorf("server: job %s failed: %s", id, st.Error)
 		}
-		time.Sleep(interval)
+		c.sleep(interval)
 	}
 }

@@ -1,0 +1,156 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smtfetch/internal/cluster/clustertest"
+	"smtfetch/internal/experiment"
+	"smtfetch/internal/server"
+)
+
+func retryRequest() server.SweepRequest {
+	return server.SweepRequest{
+		Workloads:     []string{"2_MIX"},
+		Engines:       []string{"stream"},
+		Policies:      []string{"ICOUNT.1.8", "RR.1.8"},
+		Seeds:         []uint64{1},
+		WarmupInstrs:  2_000,
+		MeasureInstrs: 5_000,
+	}
+}
+
+// TestClientRetriesTransientPollFailures is the regression test for the
+// polling loop treating ANY non-200 poll as fatal: a 500 and then a
+// connection reset on GET /jobs/{id} must not abandon a job the server
+// is still running. Faults are injected at the transport; sleeps are
+// recorded, not slept, so the backoff schedule is asserted exactly.
+func TestClientRetriesTransientPollFailures(t *testing.T) {
+	srv, err := server.New(server.Config{SyncCellLimit: -1}) // everything async
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	ft := clustertest.NewTransport(nil)
+	ft.Script(
+		&clustertest.Rule{Path: "/jobs/", Ordinal: 1, Fault: clustertest.Fault5xx},
+		&clustertest.Rule{Path: "/jobs/", Ordinal: 2, Fault: clustertest.FaultReset},
+	)
+
+	var mu sync.Mutex
+	var slept []time.Duration
+	const interval = 10 * time.Millisecond
+	cl := &server.Client{
+		BaseURL:      ts.URL,
+		HTTPClient:   &http.Client{Transport: ft},
+		PollInterval: interval,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	}
+	got, err := cl.Sweep(retryRequest())
+	if err != nil {
+		t.Fatalf("Sweep with transient poll faults: %v", err)
+	}
+
+	sw, err := retryRequest().Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sw.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiment.MarshalJSONResults(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("results after poll retries differ from local run:\n%s\nvs\n%s", got, want)
+	}
+
+	// The first two sleeps are the retry backoff: interval, then 2×.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) < 2 {
+		t.Fatalf("recorded %d sleeps, want the two retry backoffs first: %v", len(slept), slept)
+	}
+	if slept[0] != interval || slept[1] != 2*interval {
+		t.Fatalf("retry backoff = %v, %v; want %v, %v", slept[0], slept[1], interval, 2*interval)
+	}
+}
+
+// fakeJobServer answers POST /sweep with a job and scripts the poll
+// responses; it never runs a simulator.
+func fakeJobServer(poll http.HandlerFunc) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.JobRunning})
+	})
+	mux.HandleFunc("/jobs/", poll)
+	return httptest.NewServer(mux)
+}
+
+// TestClientPermanentPollFailureIsFatal: a 404 poll means the job is
+// gone (evicted, or the server restarted stateless) and must fail
+// immediately — retrying would poll forever.
+func TestClientPermanentPollFailureIsFatal(t *testing.T) {
+	polls := 0
+	ts := fakeJobServer(func(w http.ResponseWriter, r *http.Request) {
+		polls++
+		http.Error(w, "no such job", http.StatusNotFound)
+	})
+	t.Cleanup(ts.Close)
+	cl := &server.Client{
+		BaseURL:      ts.URL,
+		PollInterval: time.Millisecond,
+		Sleep:        func(time.Duration) { t.Error("slept before failing a permanent error") },
+	}
+	_, err := cl.Sweep(retryRequest())
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Sweep = %v, want immediate 404 failure", err)
+	}
+	if polls != 1 {
+		t.Fatalf("client polled %d times after a 404, want 1", polls)
+	}
+}
+
+// TestClientGivesUpAfterMaxPollFailures: a server that stays broken
+// exhausts the consecutive-failure budget instead of retrying forever.
+func TestClientGivesUpAfterMaxPollFailures(t *testing.T) {
+	polls := 0
+	ts := fakeJobServer(func(w http.ResponseWriter, r *http.Request) {
+		polls++
+		http.Error(w, "persistent failure", http.StatusInternalServerError)
+	})
+	t.Cleanup(ts.Close)
+	var slept int
+	cl := &server.Client{
+		BaseURL:         ts.URL,
+		PollInterval:    time.Millisecond,
+		MaxPollFailures: 3,
+		Sleep:           func(time.Duration) { slept++ },
+	}
+	_, err := cl.Sweep(retryRequest())
+	if err == nil || !strings.Contains(err.Error(), "3 times in a row") {
+		t.Fatalf("Sweep = %v, want give-up after 3 consecutive failures", err)
+	}
+	if polls != 3 {
+		t.Fatalf("client polled %d times, want 3", polls)
+	}
+	if slept != 2 {
+		t.Fatalf("client slept %d times, want 2 (between the 3 failed polls)", slept)
+	}
+}

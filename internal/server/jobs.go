@@ -2,6 +2,8 @@ package server
 
 import (
 	"fmt"
+	"net/http"
+	"strings"
 	"sync"
 )
 
@@ -26,8 +28,10 @@ type JobStatus struct {
 	ResultsURL string `json:"results_url,omitempty"`
 }
 
-// job is one asynchronous sweep execution.
-type job struct {
+// Job is one asynchronous sweep execution. It is exported (together with
+// JobRegistry) because the cluster coordinator exposes the identical
+// /jobs/{id} polling protocol: one implementation, two services.
+type Job struct {
 	id string
 
 	mu      sync.Mutex
@@ -38,7 +42,8 @@ type job struct {
 	results []byte // WriteJSON bytes, set when state == JobDone
 }
 
-func (j *job) status() JobStatus {
+// Status snapshots the job for GET /jobs/{id}.
+func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{ID: j.id, State: j.state, Done: j.done, Total: j.total, Error: j.err}
@@ -48,13 +53,17 @@ func (j *job) status() JobStatus {
 	return st
 }
 
-func (j *job) progress(done int) {
+// Progress records per-cell completion progress.
+func (j *Job) Progress(done int) {
 	j.mu.Lock()
 	j.done = done
 	j.mu.Unlock()
 }
 
-func (j *job) finish(results []byte, err error) {
+// Finish moves the job out of the running state. A nil results document
+// with a non-nil error marks the job failed; otherwise the job is done
+// and err (per-cell failures, already inside the document) is dropped.
+func (j *Job) Finish(results []byte, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err != nil && results == nil {
@@ -69,49 +78,54 @@ func (j *job) finish(results []byte, err error) {
 	j.done = j.total
 }
 
-func (j *job) resultBytes() ([]byte, bool) {
+// ResultBytes returns the results document once the job is done.
+func (j *Job) ResultBytes() ([]byte, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.results, j.state == JobDone
 }
 
-// jobRegistry tracks asynchronous sweeps. Completed jobs are retained up
+// JobRegistry tracks asynchronous sweeps. Completed jobs are retained up
 // to a bound so poll results stay available for a while without growing
 // without limit; running jobs are never evicted.
-type jobRegistry struct {
+type JobRegistry struct {
 	mu       sync.Mutex
 	seq      int
-	byID     map[string]*job
+	byID     map[string]*Job
 	finished []string // completed job IDs in completion order
 	maxDone  int
 }
 
-func newJobRegistry(maxDone int) *jobRegistry {
+// NewJobRegistry builds a registry retaining up to maxDone finished jobs
+// (minimum 1).
+func NewJobRegistry(maxDone int) *JobRegistry {
 	if maxDone < 1 {
 		maxDone = 1
 	}
-	return &jobRegistry{byID: map[string]*job{}, maxDone: maxDone}
+	return &JobRegistry{byID: map[string]*Job{}, maxDone: maxDone}
 }
 
-func (r *jobRegistry) create(total int) *job {
+// Create registers a new running job over total cells.
+func (r *JobRegistry) Create(total int) *Job {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
-	j := &job{id: fmt.Sprintf("job-%d", r.seq), state: JobRunning, total: total}
+	j := &Job{id: fmt.Sprintf("job-%d", r.seq), state: JobRunning, total: total}
 	r.byID[j.id] = j
 	return j
 }
 
-func (r *jobRegistry) get(id string) (*job, bool) {
+// Get looks a job up by ID.
+func (r *JobRegistry) Get(id string) (*Job, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	j, ok := r.byID[id]
 	return j, ok
 }
 
-// complete records that a job left the running state and evicts the
+// Complete records that a job left the running state and evicts the
 // oldest finished jobs beyond the retention bound.
-func (r *jobRegistry) complete(j *job) {
+func (r *JobRegistry) Complete(j *Job) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.finished = append(r.finished, j.id)
@@ -119,4 +133,35 @@ func (r *jobRegistry) complete(j *job) {
 		delete(r.byID, r.finished[0])
 		r.finished = r.finished[1:]
 	}
+}
+
+// HandleHTTP serves GET /jobs/{id} and GET /jobs/{id}/results from the
+// registry. The sweep server and the cluster coordinator both mount it,
+// so polling clients cannot tell them apart.
+func (r *JobRegistry) HandleHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rest := strings.TrimPrefix(req.URL.Path, "/jobs/")
+	id, wantResults := rest, false
+	if sub, ok := strings.CutSuffix(rest, "/results"); ok {
+		id, wantResults = sub, true
+	}
+	j, ok := r.Get(id)
+	if !ok || id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	if !wantResults {
+		writeJSONBody(w, http.StatusOK, j.Status())
+		return
+	}
+	blob, done := j.ResultBytes()
+	if !done {
+		httpError(w, http.StatusConflict, "job %s is %s, results not available", id, j.Status().State)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"smtfetch/internal/config"
+	"smtfetch/internal/core"
 	"smtfetch/internal/experiment"
 )
 
@@ -106,7 +107,7 @@ type Config struct {
 type Server struct {
 	cache     *Cache
 	cacheFile string
-	jobs      *jobRegistry
+	jobs      *JobRegistry
 	syncLimit int
 	poolJobs  int
 	mux       *http.ServeMux
@@ -141,7 +142,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cache:     NewCache(size),
 		cacheFile: cfg.CacheFile,
-		jobs:      newJobRegistry(maxDone),
+		jobs:      NewJobRegistry(maxDone),
 		syncLimit: syncLimit,
 		poolJobs:  cfg.Jobs,
 	}
@@ -156,10 +157,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/sweep", s.handleSweep)
-	s.mux.HandleFunc("/jobs/", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.jobs.HandleHTTP)
 	s.mux.HandleFunc("/results/", s.handleResult)
 	s.mux.HandleFunc("/cache/stats", s.handleCacheStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/identz", s.handleIdentz)
 	return s, nil
 }
 
@@ -237,16 +239,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := s.jobs.create(len(cells))
-	sw.OnResult = func(done, total int, _ experiment.Result) { j.progress(done) }
+	j := s.jobs.Create(len(cells))
+	sw.OnResult = func(done, total int, _ experiment.Result) { j.Progress(done) }
 	s.jobsWG.Add(1)
 	go func() {
 		defer s.jobsWG.Done()
 		blob, err := s.runSweep(sw, cells, fp)
-		j.finish(blob, err)
-		s.jobs.complete(j)
+		j.Finish(blob, err)
+		s.jobs.Complete(j)
 	}()
-	writeJSONBody(w, http.StatusAccepted, j.status())
+	writeJSONBody(w, http.StatusAccepted, j.Status())
 }
 
 // runSweep executes cells through the cache: hits are served without
@@ -261,6 +263,9 @@ func (s *Server) runSweep(sw *experiment.Sweep, cells []experiment.Cell, fp stri
 	// persisted checkpoint instead of re-simulating the warm-up.
 	sw.SnapshotSource = s.resolveSnapshot
 	src := func(c experiment.Cell) (experiment.Result, bool) {
+		if h := testHookCellStart; h != nil {
+			h(c)
+		}
 		return s.resolveKey(CacheKey(fp, c), func() experiment.Result {
 			return sw.ExecuteCell(c)
 		}), true
@@ -347,34 +352,6 @@ func (s *Server) storeResult(key string, res experiment.Result) {
 	s.cache.Put(key, res)
 }
 
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
-	id, wantResults := rest, false
-	if sub, ok := strings.CutSuffix(rest, "/results"); ok {
-		id, wantResults = sub, true
-	}
-	j, ok := s.jobs.get(id)
-	if !ok || id == "" || strings.Contains(id, "/") {
-		httpError(w, http.StatusNotFound, "no job %q", id)
-		return
-	}
-	if !wantResults {
-		writeJSONBody(w, http.StatusOK, j.status())
-		return
-	}
-	blob, done := j.resultBytes()
-	if !done {
-		httpError(w, http.StatusConflict, "job %s is %s, results not available", id, j.status().State)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(blob)
-}
-
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -400,3 +377,42 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSONBody(w, http.StatusOK, map[string]string{"status": "ok"})
 }
+
+// Identity is the JSON body of GET /identz: what this worker is and which
+// schema versions it speaks. The cluster coordinator probes it before
+// admitting a worker into the rendezvous ring — merging results from a
+// worker with a different result schema would corrupt the merged
+// document, so a version mismatch keeps the worker out of rotation.
+type Identity struct {
+	Service         string `json:"service"`
+	ResultSchema    int    `json:"result_schema"`
+	CacheSchema     int    `json:"cache_schema"`
+	SnapshotVersion int    `json:"snapshot_version"`
+}
+
+// ServiceName identifies a sweep worker in GET /identz responses.
+const ServiceName = "smtfetch-sweep-worker"
+
+// Identz is the identity this server reports.
+func Identz() Identity {
+	return Identity{
+		Service:         ServiceName,
+		ResultSchema:    experiment.SchemaVersion,
+		CacheSchema:     CacheSchemaVersion,
+		SnapshotVersion: core.SnapshotVersion,
+	}
+}
+
+func (s *Server) handleIdentz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSONBody(w, http.StatusOK, Identz())
+}
+
+// testHookCellStart, when non-nil, is called at the start of every cell
+// resolution inside runSweep. Shutdown tests use it to hold a cell (and
+// therefore its job) deterministically in flight while they assert the
+// drain-then-save ordering; production code never sets it.
+var testHookCellStart func(experiment.Cell)

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"smtfetch/internal/experiment"
+)
+
+// TestShutdownDrainsJobThenSaves pins the serve-shutdown ordering with
+// an async job deterministically held in flight: WaitJobs must not
+// return while a cell is executing, and the cache saved afterwards must
+// contain the job's results — the restarted server serves the same grid
+// without simulating. All synchronization is channel-based: the 202
+// response guarantees the job goroutine is registered with the drain
+// WaitGroup, and the cell-start hook holds the cell mid-execution.
+func TestShutdownDrainsJobThenSaves(t *testing.T) {
+	cacheFile := filepath.Join(t.TempDir(), "cache.json")
+	srv, ts := newTestServer(t, Config{CacheFile: cacheFile, SyncCellLimit: -1})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	testHookCellStart = func(experiment.Cell) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	defer func() { testHookCellStart = nil }()
+
+	resp, body := postSweep(t, ts, tinyRequest())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /sweep = %s, want 202: %s", resp.Status, body)
+	}
+	// The 202 was written after jobsWG.Add, so the drain below cannot
+	// miss the job; the hook confirms a cell is now executing inside it.
+	<-started
+
+	drained := make(chan struct{})
+	go func() {
+		srv.WaitJobs()
+		close(drained)
+	}()
+	// The job goroutine is provably blocked inside the held cell, so its
+	// WaitGroup slot is still claimed: WaitJobs cannot have returned.
+	select {
+	case <-drained:
+		t.Fatal("WaitJobs returned while a cell was still executing")
+	default:
+	}
+	if _, err := os.Stat(cacheFile); !os.IsNotExist(err) {
+		t.Fatalf("cache file exists before shutdown saved it (stat err %v)", err)
+	}
+
+	close(release)
+	<-drained
+	if err := srv.SaveCache(); err != nil {
+		t.Fatalf("SaveCache after drain: %v", err)
+	}
+
+	// A restarted server loads the drained job's cells from the file and
+	// answers the same grid without a single simulation.
+	testHookCellStart = nil
+	restarted, ts2 := newTestServer(t, Config{CacheFile: cacheFile})
+	resp2, body2 := postSweep(t, ts2, tinyRequest())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restarted sweep: %s: %s", resp2.Status, body2)
+	}
+	if st := restarted.CacheStats(); st.Misses != 0 || st.Hits != 2 {
+		t.Fatalf("restarted server stats = %+v, want 2 hits and 0 misses", st)
+	}
+}
