@@ -7,12 +7,20 @@
 //     drives it through the x/tools unitchecker protocol, with facts and
 //     caching handled by the go command;
 //   - a standalone checker: `smtfetch-lint ./...` loads packages from
-//     source via internal/lint/driver and prints diagnostics, and
+//     source via internal/lint/driver and prints diagnostics (`-json`
+//     emits them as a JSON array instead), and
 //     `smtfetch-lint -escape ./internal/...` runs the escape-analysis
 //     gate (internal/lint/escape) instead of the analyzers.
+//
+// Standalone exit codes are stable per failure class so CI and scripts
+// can dispatch on them: 0 clean, 2 load/usage error, and when every
+// finding comes from one analyzer, that analyzer's own code (poolown 3,
+// zeroalloc 4, determinism 5, statecov 6, keycov 7, schemaver 8);
+// findings from several analyzers exit 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +32,25 @@ import (
 	"smtfetch/internal/lint/driver"
 	"smtfetch/internal/lint/escape"
 )
+
+// classExit maps each analyzer to its stable single-class exit code.
+var classExit = map[string]int{
+	"poolown":     3,
+	"zeroalloc":   4,
+	"determinism": 5,
+	"statecov":    6,
+	"keycov":      7,
+	"schemaver":   8,
+}
+
+// jsonDiag is one diagnostic in -json output.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	// go vet protocol: the go command invokes the tool as
@@ -38,9 +65,10 @@ func main() {
 	flags := flag.NewFlagSet("smtfetch-lint", flag.ExitOnError)
 	escapeGate := flags.Bool("escape", false, "run the escape-analysis gate instead of the analyzers")
 	allowlist := flags.String("escape-allowlist", "", "allowlist file for -escape (default: internal/lint/escape/allowlist.txt under the module root)")
+	jsonOut := flags.Bool("json", false, "emit diagnostics as a JSON array on stdout")
 	flags.Usage = func() {
 		fmt.Fprintf(os.Stderr, `usage:
-  smtfetch-lint [packages]            run poolown/zeroalloc/determinism
+  smtfetch-lint [-json] [packages]    run the analyzer suite
   smtfetch-lint -escape [packages]    run the escape-analysis gate
   go vet -vettool=$(which smtfetch-lint) [packages]
 
@@ -74,11 +102,45 @@ Defaults to ./... when no packages are named.
 		fmt.Fprintln(os.Stderr, "smtfetch-lint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Printf("%s\n", d)
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "smtfetch-lint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "smtfetch-lint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		os.Exit(exitCode(diags))
 	}
+}
+
+// exitCode returns the analyzer-specific code when every finding belongs
+// to one class, else the generic 1.
+func exitCode(diags []driver.Diagnostic) int {
+	class := diags[0].Analyzer
+	for _, d := range diags[1:] {
+		if d.Analyzer != class {
+			return 1
+		}
+	}
+	if code, ok := classExit[class]; ok {
+		return code
+	}
+	return 1
 }

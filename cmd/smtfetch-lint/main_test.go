@@ -45,8 +45,11 @@ func TestVettoolCleanTree(t *testing.T) {
 
 // seededModule is a minimal module named smtfetch with one violation of
 // each analyzer class: a pooled composite literal outside its pool
-// (poolown), an allocation in a hotpath function (zeroalloc), and a
-// time.Now call in a simulator package (determinism).
+// (poolown), an allocation in a hotpath function (zeroalloc), a time.Now
+// call in a simulator package (determinism), a snapshot struct with a
+// written-but-never-restored field (statecov), an invisible config field
+// (keycov), and a schema struct whose field set does not match the
+// checked-in digest (schemaver).
 var seededModule = map[string]string{
 	"go.mod": "module smtfetch\n\ngo 1.24\n",
 	"internal/pipeline/pipeline.go": `// Package pipeline stands in for the real pooled-uop package.
@@ -77,12 +80,43 @@ func Evil() *pipeline.UOp {
 func hot() []int {
 	return make([]int, 8)
 }
+
+// snapSeed is snapshot state whose b field is serialized one-way
+// (statecov: written but never restored).
+type snapSeed struct {
+	a int
+	b int
+}
+
+func (s *snapSeed) Snapshot() { _, _ = s.a, s.b }
+func (s *snapSeed) Restore()  { _ = s.a }
+`,
+	"internal/config/config.go": `// Package config seeds a keycov violation: a knob invisible to the
+// JSON both cache keys marshal.
+package config
+
+// Config matches the real config root the analyzers guard.
+type Config struct {
+	ROBSize int
+	hidden  int
+}
+`,
+	"internal/experiment/experiment.go": `// Package experiment seeds a schemaver violation: the version constant
+// matches the registration but the field set does not.
+package experiment
+
+// SchemaVersion matches the registered version.
+const SchemaVersion = 1
+
+type resultsFile struct {
+	Drifted bool ` + "`json:\"drifted\"`" + `
+}
 `,
 }
 
 // TestVettoolCatchesSeededViolations proves each analyzer fires through
-// the go vet protocol: the seeded module must fail vet with all three
-// analyzers represented.
+// the go vet protocol: the seeded module must fail vet with all six
+// analyzer classes represented.
 func TestVettoolCatchesSeededViolations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs go vet on a scratch module; skipped in -short mode")
@@ -107,9 +141,12 @@ func TestVettoolCatchesSeededViolations(t *testing.T) {
 	// One message substring per analyzer (vet prints bare diagnostics,
 	// without analyzer names).
 	for _, want := range []string{
-		"UOp composite literal outside its pool", // poolown
-		"time.Now in a simulator package",        // determinism
-		"hotpath hot: make allocates",            // zeroalloc
+		"UOp composite literal outside its pool",          // poolown
+		"time.Now in a simulator package",                 // determinism
+		"hotpath hot: make allocates",                     // zeroalloc
+		"written by the snapshot path but never restored", // statecov
+		"never reaches the cache keys",                    // keycov
+		"changed without a version bump",                  // schemaver
 	} {
 		if !strings.Contains(string(out), want) {
 			t.Errorf("vet output missing %q:\n%s", want, out)

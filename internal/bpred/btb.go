@@ -14,8 +14,8 @@ type BTBEntry struct {
 // has seen; fetch blocks formed with a BTB therefore end at the first
 // branch, taken or not — one basic block per prediction.
 type BTB struct {
-	assoc int
-	sets  int
+	assoc int //smtfetch:transient geometry, fixed at construction
+	sets  int //smtfetch:transient geometry, fixed at construction
 	tags  []uint64
 	valid []bool
 	data  []BTBEntry

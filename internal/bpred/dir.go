@@ -52,8 +52,8 @@ type DirPredictor interface {
 // matches the paper's Table 3 budget.
 type GShare struct {
 	table    []counter
-	mask     uint64
-	histMask uint64
+	mask     uint64 //smtfetch:transient derived index mask, fixed at construction
+	histMask uint64 //smtfetch:transient derived history mask, fixed at construction
 }
 
 // NewGShare returns a gshare predictor with the given table size (a power
@@ -102,8 +102,8 @@ func (g *GShare) Update(pc isa.Addr, hist uint64, taken bool) {
 // the paper exploits.
 type GSkew struct {
 	banks    [3][]counter
-	mask     uint64
-	histMask uint64
+	mask     uint64 //smtfetch:transient derived index mask, fixed at construction
+	histMask uint64 //smtfetch:transient derived history mask, fixed at construction
 }
 
 // NewGSkew returns a gskew predictor with three banks of `entries` counters

@@ -29,8 +29,8 @@ const MaxFTBBlock = 64
 // FTB is a set-associative fetch target buffer keyed by the fetch block's
 // start address (Table 3: 2K entries, 4-way — same budget as the BTB).
 type FTB struct {
-	assoc int
-	sets  int
+	assoc int //smtfetch:transient geometry, fixed at construction
+	sets  int //smtfetch:transient geometry, fixed at construction
 	tags  []uint64
 	valid []bool
 	data  []FTBEntry

@@ -30,8 +30,8 @@ type streamEntry struct {
 
 // streamTable is one set-associative stream table.
 type streamTable struct {
-	assoc int
-	sets  int
+	assoc int //smtfetch:transient geometry, fixed at construction
+	sets  int //smtfetch:transient geometry, fixed at construction
 	tags  []uint64
 	valid []bool
 	data  []streamEntry
@@ -180,7 +180,7 @@ func (d DOLC) Hash(p *PathHistory, current isa.Addr) uint64 {
 type StreamPredictor struct {
 	l1   *streamTable
 	l2   *streamTable
-	dolc DOLC
+	dolc DOLC //smtfetch:transient hash geometry, fixed at construction
 
 	Lookups uint64
 	L2Hits  uint64

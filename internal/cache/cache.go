@@ -15,11 +15,11 @@ import (
 // Cache is a set-associative cache with true-LRU replacement.
 // It tracks tags only (the simulator never stores data).
 type Cache struct {
-	cfg      config.CacheConfig
-	sets     int
-	lineBits uint
-	setMask  uint64
-	bankMask uint64
+	cfg      config.CacheConfig //smtfetch:transient construction-time configuration
+	sets     int                //smtfetch:transient geometry derived from cfg at construction
+	lineBits uint               //smtfetch:transient geometry derived from cfg at construction
+	setMask  uint64             //smtfetch:transient geometry derived from cfg at construction
+	bankMask uint64             //smtfetch:transient geometry derived from cfg at construction
 	// ways[set*assoc+way]
 	tags  []uint64
 	valid []bool
@@ -192,7 +192,7 @@ func (c *Cache) MissRate() float64 {
 // is O(1).
 type TLB struct {
 	entries  int
-	pageBits uint
+	pageBits uint //smtfetch:transient geometry, fixed at construction
 	pages    []uint64
 	valid    []bool
 	lru      []uint64
@@ -200,7 +200,7 @@ type TLB struct {
 	// idx maps the page of every valid entry to its index; mru is the
 	// last entry that hit (checked first — page locality makes
 	// consecutive accesses hit the same page).
-	idx map[uint64]int
+	idx map[uint64]int //smtfetch:transient lookup index rebuilt from pages/valid on decode
 	mru int
 
 	Accesses uint64
@@ -275,7 +275,7 @@ func (t *TLB) Lookup(a isa.Addr) bool {
 // operation does not allocate).
 type mshrSet struct {
 	ready map[isa.Addr]uint64 // line -> fill-completion cycle
-	heap  []mshrRec           // min-heap ordered by ready
+	heap  []mshrRec           //smtfetch:transient min-heap ordered by ready, rebuilt from the ready map on decode
 }
 
 // mshrRec is one heap record. A line that misses again after its fill
@@ -370,8 +370,8 @@ type Hierarchy struct {
 	L1I, L1D, L2 *Cache
 	ITLB, DTLB   *TLB
 
-	memLat int
-	tlbLat int
+	memLat int //smtfetch:transient configured latency, fixed at construction
+	tlbLat int //smtfetch:transient configured latency, fixed at construction
 	imshrs mshrSet
 	dmshrs mshrSet
 }

@@ -47,7 +47,7 @@ type threadState struct {
 	longLoads int
 	// pendingFlush is the oldest long-latency load detected this cycle
 	// under the FLUSH policy; flushStage consumes it.
-	pendingFlush *pipeline.UOp
+	pendingFlush *pipeline.UOp //smtfetch:transient intra-cycle only; Snapshot refuses mid-cycle state, so always nil at a cycle boundary
 	// replay holds uops removed by a FLUSH event, in program order, from
 	// replayPos on; they re-enter the fetch buffer once the triggering
 	// load's miss resolves. Flushed uops keep their fetch-request
@@ -73,16 +73,16 @@ type Sim struct {
 	cfg  *config.Config
 	fe   *fetch.FrontEnd
 	hier *cache.Hierarchy
-	lat  isa.LatencyTable
+	lat  isa.LatencyTable //smtfetch:transient construction-time latency table
 	st   *stats.Stats
 
 	rob     *pipeline.ROB
 	iqs     [pipeline.NumQueues]*pipeline.IssueQueue
 	intRegs *pipeline.RegFile
 	fpRegs  *pipeline.RegFile
-	intFUs  *pipeline.FUPool
-	lsFUs   *pipeline.FUPool
-	fpFUs   *pipeline.FUPool
+	intFUs  *pipeline.FUPool //smtfetch:transient per-cycle issue budget self-resets on the next TryIssue
+	lsFUs   *pipeline.FUPool //smtfetch:transient per-cycle issue budget self-resets on the next TryIssue
+	fpFUs   *pipeline.FUPool //smtfetch:transient per-cycle issue budget self-resets on the next TryIssue
 
 	fetchBuf      *pipeline.UOpRing
 	frontPipe     *pipeline.UOpRing
@@ -94,38 +94,38 @@ type Sim struct {
 	// drop squashed entries lazily on their next scan. uopSlab is the
 	// current allocation block: new uops are created uopSlabSize at a time
 	// so working-set growth costs one heap allocation per slab.
-	freeUOps []*pipeline.UOp
-	uopSlab  []pipeline.UOp
-	limboCur []*pipeline.UOp
-	limboOld []*pipeline.UOp
+	freeUOps []*pipeline.UOp //smtfetch:transient pool free list; allocUOp zero-resets, population is invisible
+	uopSlab  []pipeline.UOp  //smtfetch:transient allocation block backing the pool
+	limboCur []*pipeline.UOp //smtfetch:transient squashed-uop quarantine, canonicalized out of the stream
+	limboOld []*pipeline.UOp //smtfetch:transient squashed-uop quarantine, canonicalized out of the stream
 
 	// Reusable per-cycle scratch: thread order, policy priority keys, and
 	// the fetch-stage bank-conflict bitmask.
-	orderBuf  []int
-	keyBuf    []int
-	usedBanks uint64
+	orderBuf  []int  //smtfetch:transient per-cycle scratch, recomputed before first use
+	keyBuf    []int  //smtfetch:transient per-cycle scratch, recomputed before first use
+	usedBanks uint64 //smtfetch:transient per-cycle scratch, recomputed before first use
 	// iqposnBuf holds the per-thread issue-queue head-proximity penalty,
 	// recomputed each cycle under the IQPOSN policy only.
-	iqposnBuf []int
+	iqposnBuf []int //smtfetch:transient per-cycle scratch, recomputed before first use
 	// flushBatch/flushTail are FLUSH-policy scratch: the uops collected by
 	// the current flush event, and the surviving tail of an older replay
 	// queue being merged behind them.
-	flushBatch []*pipeline.UOp
-	flushTail  []*pipeline.UOp
+	flushBatch []*pipeline.UOp //smtfetch:transient per-flush-event scratch
+	flushTail  []*pipeline.UOp //smtfetch:transient per-flush-event scratch
 
-	fetchEligible   func(t int) bool
-	predictEligible func(t int) bool
+	fetchEligible   func(t int) bool //smtfetch:transient policy closure, rebound by SetPolicy
+	predictEligible func(t int) bool //smtfetch:transient policy closure, rebound by SetPolicy
 
 	// Policy-derived switches, fixed at construction: gate fetch on
 	// outstanding long-latency loads (STALL/FLUSH), flush on detection
 	// (FLUSH), recompute IQ positions (IQPOSN).
-	gateLongLoads bool
-	flushPolicy   bool
-	needIQPosn    bool
+	gateLongLoads bool //smtfetch:transient policy switch derived from cfg, rebound by SetPolicy
+	flushPolicy   bool //smtfetch:transient policy switch derived from cfg, rebound by SetPolicy
+	needIQPosn    bool //smtfetch:transient policy switch derived from cfg, rebound by SetPolicy
 	// longLatThreshold classifies a load as long-latency when its
 	// completion lies at least this many cycles out (the memory latency:
 	// only L2 misses reach it).
-	longLatThreshold uint64
+	longLatThreshold uint64 //smtfetch:transient derived from configured memory latency
 
 	threads  []threadState
 	nthreads int
@@ -133,14 +133,14 @@ type Sim struct {
 	// drainMode gates the prediction stage off so the pipeline empties
 	// while consuming (never discarding) FTQ contents; Drain in state.go
 	// sets it around its cycle loop.
-	drainMode bool
+	drainMode bool //smtfetch:transient set only inside Drain around its cycle loop
 
 	now  uint64
 	gseq uint64
 
-	frontLatency int
-	mshrCap      int
-	inFlightData int
+	frontLatency int //smtfetch:transient derived from cfg at construction
+	mshrCap      int //smtfetch:transient derived from cfg at construction
+	inFlightData int //smtfetch:transient per-cycle scratch, recomputed before first use
 }
 
 // New builds a simulator for the given configuration and per-thread

@@ -166,7 +166,7 @@ func (s *Sim) Snapshot() ([]byte, error) {
 	// Info/Req on restore.
 	w.Int(len(uops))
 	for _, u := range uops {
-		encodeUOp(w, u)
+		u.EncodeState(w)
 		if u.Req != nil {
 			slot := u.Req.BranchSlot(u.Info)
 			if slot < 0 {
@@ -268,50 +268,6 @@ func encodeListIndices(w *snap.Writer, list []*pipeline.UOp, idx map[*pipeline.U
 	}
 }
 
-func encodeUOp(w *snap.Writer, u *pipeline.UOp) {
-	u.Instruction.EncodeState(w)
-	w.Int(u.Thread)
-	w.Bool(u.Ghost)
-	w.U64(u.GSeq)
-	w.U16(u.SavedDep1)
-	w.U16(u.SavedDep2)
-	w.U64(u.FetchedAt)
-	w.U64(u.EnterFront)
-	w.U64(u.DecodeAt)
-	w.Bool(u.Dispatched)
-	w.Bool(u.Issued)
-	w.Bool(u.Done)
-	w.U64(u.ReadyAt)
-	w.Bool(u.InICount)
-	w.Bool(u.InBRCount)
-	w.Bool(u.DMiss)
-	w.Bool(u.LongMiss)
-	w.Bool(u.Flushed)
-	w.Bool(u.Recovered)
-}
-
-func decodeUOp(r *snap.Reader, u *pipeline.UOp) {
-	u.Instruction.DecodeState(r)
-	u.Thread = r.Int()
-	u.Ghost = r.Bool()
-	u.GSeq = r.U64()
-	u.SavedDep1 = r.U16()
-	u.SavedDep2 = r.U16()
-	u.FetchedAt = r.U64()
-	u.EnterFront = r.U64()
-	u.DecodeAt = r.U64()
-	u.Dispatched = r.Bool()
-	u.Issued = r.Bool()
-	u.Done = r.Bool()
-	u.ReadyAt = r.U64()
-	u.InICount = r.Bool()
-	u.InBRCount = r.Bool()
-	u.DMiss = r.Bool()
-	u.LongMiss = r.Bool()
-	u.Flushed = r.Bool()
-	u.Recovered = r.Bool()
-}
-
 // Restore rebuilds the state serialized by Snapshot onto a freshly
 // constructed simulator of identical configuration (same config, programs,
 // and seed as the snapshotted one). On error the simulator is left
@@ -391,7 +347,7 @@ func (s *Sim) Restore(blob []byte) error {
 	uops := make([]*pipeline.UOp, nuop)
 	for i := range uops {
 		u := s.allocUOp()
-		decodeUOp(r, u)
+		u.DecodeState(r)
 		ri := r.Int()
 		slot := r.Int()
 		if err := r.Err(); err != nil {

@@ -61,16 +61,16 @@ func CellSeed(c Cell) uint64 {
 type Sweep struct {
 	// Engines, Policies, Workloads, Seeds are the grid axes. Empty axes
 	// take the paper defaults (Seeds defaults to {1}).
-	Engines   []config.Engine
-	Policies  []config.FetchPolicy
-	Workloads []string
-	Seeds     []uint64
+	Engines   []config.Engine      //smtfetch:nonsemantic grid axis; each cell's identity enters the keys via Cell.Key
+	Policies  []config.FetchPolicy //smtfetch:nonsemantic grid axis; each cell's identity enters the keys via Cell.Key
+	Workloads []string             //smtfetch:nonsemantic grid axis; each cell's identity enters the keys via Cell.Key
+	Seeds     []uint64             //smtfetch:nonsemantic grid axis; each cell's identity enters the keys via Cell.Key
 
 	// Filter, when non-nil, keeps only cells it returns true for.
-	Filter func(Cell) bool
+	Filter func(Cell) bool //smtfetch:nonsemantic selects which cells run, never changes a cell result
 
 	// Jobs bounds the worker pool; <= 0 means runtime.NumCPU().
-	Jobs int
+	Jobs int //smtfetch:nonsemantic worker-pool size, scheduling only
 
 	// Simulation phase lengths; zero values take the smtfetch defaults
 	// (200k warmup, 1M measure, 50M max cycles). WarmupCycles adds a
@@ -103,16 +103,16 @@ type Sweep struct {
 	// warm key and a builder, and returns a cached blob or the builder's
 	// output. Within one sweep checkpoints are additionally memoized per
 	// warm key, so the source sees each key at most once per run.
-	SnapshotSource func(key string, build func() ([]byte, error)) ([]byte, error)
+	SnapshotSource func(key string, build func() ([]byte, error)) ([]byte, error) //smtfetch:nonsemantic checkpoint transport; blob identity is the WarmKey itself
 
 	// OnResult, when non-nil, is called after each cell finishes with the
 	// completed count, the total, and the cell's result. Calls are
 	// serialized but arrive in completion order, not cell order.
-	OnResult func(done, total int, r Result)
+	OnResult func(done, total int, r Result) //smtfetch:nonsemantic progress callback
 
 	// snap memoizes warm checkpoints for the worker pool; set up by
 	// RunCells, shared by pointer so Sweep stays copyable.
-	snap *snapMemo
+	snap *snapMemo //smtfetch:nonsemantic per-run checkpoint memo, execution mechanics
 }
 
 // Cells expands the grid into its cell list in deterministic order

@@ -63,6 +63,13 @@ func canonicalCell(c Cell) Cell {
 // cache state depends on both. The snapshot format version is folded in
 // so format bumps invalidate cached blobs instead of failing restores.
 func (s *Sweep) WarmKey(c Cell) string {
+	return s.warmKeyAt(core.SnapshotVersion, c)
+}
+
+// warmKeyAt is WarmKey with an explicit snapshot format version, split out
+// so tests can pin that the version is a live key component (a format bump
+// must change every warm key).
+func (s *Sweep) warmKeyAt(snapshotVersion int, c Cell) string {
 	canon := canonicalCell(c)
 	mc := config.Default()
 	if s.Machine != nil {
@@ -78,7 +85,7 @@ func (s *Sweep) WarmKey(c Cell) string {
 		MaxCycles       uint64        `json:"max_cycles"`
 		Machine         config.Config `json:"machine"`
 	}{
-		SnapshotVersion: core.SnapshotVersion,
+		SnapshotVersion: snapshotVersion,
 		Cell:            canon.Key(),
 		WarmupInstrs:    s.WarmupInstrs,
 		WarmupCycles:    s.WarmupCycles,

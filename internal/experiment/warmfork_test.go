@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"smtfetch/internal/config"
+	"smtfetch/internal/core"
 )
 
 // warmForkGrid is a small two-group grid: three policies share the 2.8
@@ -187,5 +188,50 @@ func TestSweepRejectsBadSampleAndWarmFork(t *testing.T) {
 	bad = &Sweep{Workloads: []string{"2_MIX"}, WarmFork: "sideways"}
 	if err := bad.Validate(); err == nil {
 		t.Fatal("unknown warm-fork mode accepted")
+	}
+}
+
+// The server's snapshot cache tier keys blobs by the string WarmKey
+// produces, so the snapshot format version must be a live component of
+// that string: after a format bump, a server restarted over an old cache
+// file must miss rather than serve a stale blob to a decoder that cannot
+// read it.
+func TestWarmKeySnapshotVersionComponent(t *testing.T) {
+	s := &Sweep{WarmupInstrs: 10_000, WarmupCycles: 500}
+	cell := Cell{Workload: "2_MIX", Engine: config.GShareBTB, Policy: config.ICount28, Seed: 1}
+
+	if s.WarmKey(cell) != s.warmKeyAt(core.SnapshotVersion, cell) {
+		t.Fatal("WarmKey does not use the current core.SnapshotVersion")
+	}
+	if s.warmKeyAt(core.SnapshotVersion, cell) == s.warmKeyAt(core.SnapshotVersion+1, cell) {
+		t.Fatal("a snapshot format bump does not change the warm key")
+	}
+}
+
+// TestSnapshotSourceKeyedByWarmKey pins the contract the server's
+// snapshot tier relies on: every key handed to SnapshotSource is exactly
+// the group's WarmKey, so whatever WarmKey folds in (including the
+// snapshot version, above) is folded into the server-side cache key too.
+func TestSnapshotSourceKeyedByWarmKey(t *testing.T) {
+	s := warmForkGrid(WarmForkFork)
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	s.SnapshotSource = func(key string, build func() ([]byte, error)) ([]byte, error) {
+		mu.Lock()
+		seen[key] = true
+		mu.Unlock()
+		return build()
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("SnapshotSource never consulted")
+	}
+	for _, c := range s.Cells() {
+		delete(seen, s.WarmKey(c))
+	}
+	for key := range seen {
+		t.Errorf("SnapshotSource saw key %q that is no cell's WarmKey", key)
 	}
 }

@@ -40,8 +40,8 @@ const maxBlock = ftq.MaxInstrs
 
 // threadFE is the per-thread front-end state.
 type threadFE struct {
-	id    int
-	prog  *prog.Program
+	id    int           //smtfetch:transient thread index, fixed at construction
+	prog  *prog.Program //smtfetch:transient static program; decode rebuilds the streams over it
 	trace *prog.Stream
 	ghost *prog.Stream
 	seedR *rng.Rand
@@ -59,20 +59,20 @@ type threadFE struct {
 	queue *ftq.Queue
 	// pool recycles fetch requests; see the ftq package comment for the
 	// lifetime rules.
-	pool *ftq.Pool
+	pool *ftq.Pool //smtfetch:transient request pool; population is invisible to simulation
 
 	// Functional fast-forward block tracking (sampled simulation): the
 	// current training block's start, length, and path checkpoint. Reset
 	// by BeginFunctional; transient, never serialized into snapshots.
-	ffBlockStart  isa.Addr
-	ffBlockInstrs int
-	ffPathCp      bpred.PathHistory
+	ffBlockStart  isa.Addr          //smtfetch:transient functional fast-forward scratch, reset by BeginFunctional
+	ffBlockInstrs int               //smtfetch:transient functional fast-forward scratch, reset by BeginFunctional
+	ffPathCp      bpred.PathHistory //smtfetch:transient functional fast-forward scratch, reset by BeginFunctional
 }
 
 // FrontEnd owns the prediction stage: shared predictor tables plus
 // per-thread state and FTQs.
 type FrontEnd struct {
-	cfg    *config.Config
+	cfg    *config.Config //smtfetch:transient construction-time configuration
 	engine config.Engine
 
 	// Shared tables (one fetch unit, shared among threads, as in the

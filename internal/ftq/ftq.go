@@ -113,10 +113,10 @@ type Request struct {
 	nbr      int
 	branches [maxBranches]BranchInfo
 
-	pool   *Pool
-	refs   int32
-	pooled bool
-	epoch  uint64
+	pool   *Pool  //smtfetch:transient owning pool, bound at acquisition
+	refs   int32  //smtfetch:transient refcount rebuilt by Retain during restore re-linking
+	pooled bool   //smtfetch:transient pool-membership flag managed by acquire/release
+	epoch  uint64 //smtfetch:transient recycling stamp; a restored request is a fresh acquisition
 }
 
 // Len returns the number of instructions in the block.
@@ -303,7 +303,7 @@ func (p *Pool) ForEachFree(fn func(*Request)) {
 // queued (a pool-aliasing bug), and Head/PopHead panic on it.
 type Queue struct {
 	reqs   []*Request
-	epochs []uint64
+	epochs []uint64 //smtfetch:transient aliasing-guard stamps re-recorded at push during decode
 	head   int
 	n      int
 }

@@ -17,10 +17,21 @@ func TestPoolOwn(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, "testdata/determinism", lint.Determinism,
-		"smtfetch/internal/core", "other")
+		"smtfetch/internal/core", "smtfetch/internal/snap", "other")
 }
 
 func TestZeroAlloc(t *testing.T) {
 	linttest.Run(t, "testdata/zeroalloc", lint.ZeroAlloc,
 		"smtfetch/internal/core")
+}
+
+func TestStateCov(t *testing.T) {
+	linttest.Run(t, "testdata/statecov", lint.StateCov,
+		"smtfetch/internal/core")
+}
+
+func TestKeyCov(t *testing.T) {
+	linttest.Run(t, "testdata/keycov", lint.KeyCov,
+		"smtfetch/internal/experiment", "smtfetch/internal/config",
+		"smtfetch/internal/server")
 }

@@ -10,7 +10,7 @@ import (
 
 // Analyzers returns the full smtfetch analyzer suite in a stable order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{PoolOwn, ZeroAlloc, Determinism}
+	return []*analysis.Analyzer{PoolOwn, ZeroAlloc, Determinism, StateCov, KeyCov, SchemaVer}
 }
 
 // simPackages are the packages whose code determines simulated behavior.
@@ -44,6 +44,8 @@ const (
 	dirAllowAlloc  = "allowalloc"
 	dirAllowCold   = "allowcold"
 	dirCommutative = "commutative"
+	dirTransient   = "transient"
+	dirNonsemantic = "nonsemantic"
 )
 
 const directivePrefix = "//smtfetch:"
@@ -99,6 +101,8 @@ var reasonRequired = map[string]bool{
 	dirAllowAlloc:  true,
 	dirAllowCold:   true,
 	dirCommutative: true,
+	dirTransient:   true,
+	dirNonsemantic: true,
 }
 
 // collectDirectives scans the package once. Malformed directives (unknown
@@ -113,6 +117,7 @@ func collectDirectives(pass *analysis.Pass) *directives {
 	known := map[string]bool{
 		dirHotpath: true, dirPoolOwner: true,
 		dirAllowAlloc: true, dirAllowCold: true, dirCommutative: true,
+		dirTransient: true, dirNonsemantic: true,
 	}
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/constant"
+	"go/types"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// SchemaVer pins every versioned serialization format to a checked-in
+// field-set digest (schemadigest.go). Changing a serialized struct without
+// bumping its version constant fails; bumping the constant with a stale
+// registration fails. Persisted files (results, aggregates, cache,
+// snapshots) can therefore never silently change format under an unchanged
+// version number.
+var SchemaVer = &analysis.Analyzer{
+	Name: "schemaver",
+	Doc: "pin versioned serialization schemas to checked-in field-set digests\n\n" +
+		"internal/lint/schemadigest.go registers each schema: a version\n" +
+		"constant, root structs, and a digest of their serialized field sets\n" +
+		"(json mode: exported fields + json tags; snap mode: fields without\n" +
+		"//smtfetch:transient). The analyzer recomputes the digest and\n" +
+		"requires both the constant's value and the digest to match the\n" +
+		"registration, so every format change is an explicit two-line diff\n" +
+		"in the registry next to the version bump. Snapshot packages also\n" +
+		"export per-struct digests as package facts so the core stream\n" +
+		"digest folds in cross-package struct layouts.",
+	FactTypes: []analysis.Fact{(*schemaDigests)(nil)},
+	Run:       runSchemaVer,
+}
+
+// schemaDigests is the package fact a snapshot package exports: the snap
+// digest of each of its snapshot structs, so dependent packages can fold
+// cross-package struct layouts into their own stream digests.
+type schemaDigests struct {
+	Structs map[string]string
+}
+
+func (*schemaDigests) AFact() {}
+func (d *schemaDigests) String() string {
+	names := make([]string, 0, len(d.Structs))
+	for n := range d.Structs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return "snap digests " + strings.Join(names, ",")
+}
+
+func runSchemaVer(pass *analysis.Pass) (interface{}, error) {
+	ctx := &digestCtx{
+		pass:     pass,
+		dirs:     collectDirectives(pass),
+		imported: make(map[string]map[string]string),
+		memo:     make(map[digestKey]string),
+		inProg:   make(map[digestKey]bool),
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		var fact schemaDigests
+		if pass.ImportPackageFact(imp, &fact) {
+			ctx.imported[imp.Path()] = fact.Structs
+		}
+	}
+
+	// Snapshot packages export their snapshot structs' snap digests so
+	// dependents (ultimately core's stream digest) see layout changes.
+	if snapshotPackages[pass.Pkg.Path()] {
+		ctx.snapStructs = snapStructs(pass)
+		if len(ctx.snapStructs) > 0 {
+			fact := &schemaDigests{Structs: make(map[string]string)}
+			for named := range ctx.snapStructs {
+				fact.Structs[named.Obj().Name()] = ctx.digest(named, "snap")
+			}
+			pass.ExportPackageFact(fact)
+		}
+	}
+
+	for _, reg := range schemaRegs {
+		if reg.Pkg != pass.Pkg.Path() {
+			continue
+		}
+		checkSchemaReg(pass, ctx, reg)
+	}
+	return nil, nil
+}
+
+func checkSchemaReg(pass *analysis.Pass, ctx *digestCtx, reg schemaReg) {
+	cobj, ok := pass.Pkg.Scope().Lookup(reg.Const).(*types.Const)
+	if !ok {
+		// The registry names a constant that no longer exists: the schema
+		// guard itself has rotted. Anchor at the package's first file.
+		pass.Reportf(pass.Files[0].Package, "schema registration for %s references missing version constant %s: fix internal/lint/schemadigest.go", reg.Pkg, reg.Const)
+		return
+	}
+	val, ok := constant.Int64Val(constant.ToInt(cobj.Val()))
+	if !ok {
+		pass.Reportf(cobj.Pos(), "schema version constant %s is not an integer", reg.Const)
+		return
+	}
+
+	var parts []string
+	for _, root := range reg.Roots {
+		named, st := lookupStruct(pass.Pkg, root)
+		if named == nil || st == nil {
+			pass.Reportf(cobj.Pos(), "schema registration for %s names missing root struct %s: fix internal/lint/schemadigest.go", reg.Const, root)
+			return
+		}
+		parts = append(parts, root+"="+ctx.digest(named, reg.Mode))
+	}
+	computed := fnvHex(strings.Join(parts, ";"))
+
+	switch {
+	case val != reg.Version:
+		pass.Reportf(cobj.Pos(), "version constant %s = %d but the schema registration records version %d: after a deliberate format change, update the registration in internal/lint/schemadigest.go (Version: %d, Digest: %q)",
+			reg.Const, val, reg.Version, val, computed)
+	case computed != reg.Digest:
+		pass.Reportf(cobj.Pos(), "serialized field set under %s changed without a version bump: computed digest %s, registration records %q; bump %s and update the registration in internal/lint/schemadigest.go (Digest: %q)",
+			reg.Const, computed, reg.Digest, reg.Const, computed)
+	}
+}
+
+// digestCtx computes canonical field-set digests over the type graph.
+type digestCtx struct {
+	pass        *analysis.Pass
+	dirs        *directives
+	snapStructs map[*types.Named]*types.Struct
+	imported    map[string]map[string]string
+	memo        map[digestKey]string
+	inProg      map[digestKey]bool
+}
+
+// digestKey memoizes per (type, mode): the same struct can legitimately
+// carry different digests as a JSON envelope member and as snap state.
+type digestKey struct {
+	named *types.Named
+	mode  string
+}
+
+// digest returns the FNV-64a digest of a named struct's canonical field
+// text in the given mode, memoized and cycle-safe.
+func (c *digestCtx) digest(named *types.Named, mode string) string {
+	key := digestKey{named, mode}
+	if d, ok := c.memo[key]; ok {
+		return d
+	}
+	if c.inProg[key] {
+		return fnvHex("cycle:" + named.Obj().Name())
+	}
+	c.inProg[key] = true
+	st, _ := named.Underlying().(*types.Struct)
+	var d string
+	if st == nil {
+		d = fnvHex(types.TypeString(named, nil))
+	} else {
+		d = fnvHex(c.structText(st, mode))
+	}
+	delete(c.inProg, key)
+	c.memo[key] = d
+	return d
+}
+
+// structText renders one canonical line per serialized field:
+// name<TAB>jsonName<TAB>type (json mode) or name<TAB>type (snap mode).
+func (c *digestCtx) structText(st *types.Struct, mode string) string {
+	var b strings.Builder
+	b.WriteString("struct{\n")
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if mode == "json" {
+			tag := jsonTagName(st.Tag(i))
+			if !f.Exported() || tag == "-" {
+				continue
+			}
+			fmt.Fprintf(&b, "%s\t%s\t%s\n", f.Name(), tag, c.typeRepr(f.Type(), mode))
+			continue
+		}
+		// snap mode: transient fields are by definition not in the stream.
+		// Annotations are only visible for the package under analysis;
+		// cross-package structs are folded by their exported digests below.
+		if f.Pkg() == c.pass.Pkg && c.dirs.lineHas(f.Pos(), dirTransient) {
+			continue
+		}
+		fmt.Fprintf(&b, "%s\t%s\n", f.Name(), c.typeRepr(f.Type(), mode))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// typeRepr folds a field type into the canonical text. Named snapshot
+// structs fold by reference to their own digest (same-package directly,
+// cross-package via the exported fact); everything else folds by its type
+// string, so internal refactors of non-serialized helper structs do not
+// shift stream digests.
+func (c *digestCtx) typeRepr(t types.Type, mode string) string {
+	switch u := t.(type) {
+	case *types.Pointer:
+		return "*" + c.typeRepr(u.Elem(), mode)
+	case *types.Slice:
+		return "[]" + c.typeRepr(u.Elem(), mode)
+	case *types.Array:
+		return fmt.Sprintf("[%d]", u.Len()) + c.typeRepr(u.Elem(), mode)
+	case *types.Map:
+		return "map[" + c.typeRepr(u.Key(), mode) + "]" + c.typeRepr(u.Elem(), mode)
+	case *types.Struct:
+		return c.structText(u, mode)
+	case *types.Basic:
+		return u.Name()
+	case *types.Named:
+		name := types.TypeString(u, nil)
+		if mode == "json" {
+			if _, ok := u.Underlying().(*types.Struct); ok {
+				return name + "{" + c.digest(u, mode) + "}"
+			}
+			return name + "~" + c.typeRepr(u.Underlying(), mode)
+		}
+		// snap mode
+		pkg := u.Obj().Pkg()
+		if pkg == c.pass.Pkg {
+			if _, ok := c.snapStructs[u]; ok {
+				return name + "{" + c.digest(u, mode) + "}"
+			}
+			return name
+		}
+		if pkg != nil {
+			if digests, ok := c.imported[pkg.Path()]; ok {
+				if d, ok := digests[u.Obj().Name()]; ok {
+					return name + "{" + d + "}"
+				}
+			}
+		}
+		return name
+	default:
+		return types.TypeString(t, nil)
+	}
+}
+
+// fnvHex is the digest primitive: FNV-64a over the canonical text.
+func fnvHex(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

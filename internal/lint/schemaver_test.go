@@ -1,0 +1,75 @@
+package lint
+
+// An internal test: the fixture run swaps the unexported schema registry
+// for registrations pointing at the fixture packages, covering every
+// failure class (stale digest, stale recorded version, rotten const,
+// rotten root) plus the clean json and snap (cross-package fact) cases.
+
+import (
+	"testing"
+
+	"smtfetch/internal/lint/linttest"
+)
+
+// fixtureRegs mirrors schemadigest.go for the testdata/schemaver module.
+// The accept digests are pinned: if the digest algorithm itself changes,
+// this test fails before the real registry silently re-validates.
+var fixtureRegs = []schemaReg{
+	{
+		Pkg:     "schemaok",
+		Const:   "Version",
+		Version: 3,
+		Mode:    "json",
+		Roots:   []string{"envelope"},
+		Digest:  "e8a8fde082255188",
+	},
+	{
+		Pkg:     "smtfetch/internal/core",
+		Const:   "SnapshotVersion",
+		Version: 1,
+		Mode:    "snap",
+		Roots:   []string{"Sim"},
+		Digest:  "86948302ac5910c1",
+	},
+	{
+		Pkg:     "schemabad",
+		Const:   "VersionDrift",
+		Version: 1,
+		Mode:    "json",
+		Roots:   []string{"driftFile"},
+		Digest:  "ffffffffffffffff",
+	},
+	{
+		Pkg:     "schemabad",
+		Const:   "VersionStale",
+		Version: 1,
+		Mode:    "json",
+		Roots:   []string{"staleFile"},
+		Digest:  "ffffffffffffffff",
+	},
+	{
+		Pkg:     "schemabad",
+		Const:   "VersionGone",
+		Version: 1,
+		Mode:    "json",
+		Roots:   []string{"staleFile"},
+		Digest:  "ffffffffffffffff",
+	},
+	{
+		Pkg:     "schemabad",
+		Const:   "VersionNoRoot",
+		Version: 1,
+		Mode:    "json",
+		Roots:   []string{"goneFile"},
+		Digest:  "ffffffffffffffff",
+	},
+}
+
+func TestSchemaVer(t *testing.T) {
+	saved := schemaRegs
+	schemaRegs = fixtureRegs
+	defer func() { schemaRegs = saved }()
+	linttest.Run(t, "testdata/schemaver", SchemaVer,
+		"smtfetch/internal/rng", "smtfetch/internal/core",
+		"schemaok", "schemabad")
+}

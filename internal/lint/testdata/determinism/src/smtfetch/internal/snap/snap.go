@@ -1,0 +1,28 @@
+// Package snap is a fixture stand-in for the state codec: it is not a
+// simulator package, but it serializes simulator state, so the satellite
+// extension holds it to the same determinism rules.
+package snap
+
+import "time"
+
+// stamps is iterated below.
+var stamps = map[string]uint64{"a": 1}
+
+// badEncode timestamps the stream (wall clock) and walks a map in hash
+// order; either would make two encodes of identical state differ.
+func badEncode() uint64 {
+	t := uint64(time.Now().Unix()) // want "time.Now in a simulator package"
+	for _, v := range stamps {     // want "range over map in a simulator package"
+		t += v
+	}
+	return t
+}
+
+// goodEncode serializes deterministically: no clock, slice iteration.
+func goodEncode(vals []uint64) uint64 {
+	var sum uint64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,29 @@
+// Package experiment is a fixture stand-in: keycov classifies each Sweep
+// field (WarmKey closure, nonsemantic annotation, or neither) and exports
+// the classification for the server package to finish the check.
+package experiment
+
+// Cell is the unit of work; its identity is carried by cache keys
+// directly, outside the Sweep fields.
+type Cell struct{ Workload string }
+
+// Sweep mirrors the real sweep: grid axes, phase lengths, mechanics.
+type Sweep struct {
+	Workloads []string //smtfetch:nonsemantic grid axis; cell identity enters the keys via the cell
+
+	WarmupInstrs  uint64
+	MeasureInstrs uint64
+
+	Jobs   int
+	secret int
+}
+
+// WarmKey covers WarmupInstrs through a same-package helper.
+func (s *Sweep) WarmKey(c Cell) string {
+	return s.warmBody(c)
+}
+
+func (s *Sweep) warmBody(c Cell) string {
+	_ = s.WarmupInstrs
+	return c.Workload
+}

@@ -1,0 +1,17 @@
+// Package server is a fixture stand-in: keycov anchors uncovered-Sweep
+// diagnostics at Fingerprint, where the missing hash component belongs.
+// MeasureInstrs is covered here, WarmupInstrs by WarmKey, Workloads by its
+// annotation; Jobs and secret reach no key and carry no annotation.
+package server
+
+import "smtfetch/internal/experiment"
+
+// Fingerprint covers MeasureInstrs through a same-package helper.
+func Fingerprint(s *experiment.Sweep) string { // want "Sweep.Jobs flows into neither" "Sweep.secret flows into neither"
+	return fpBody(s)
+}
+
+func fpBody(s *experiment.Sweep) string {
+	_ = s.MeasureInstrs
+	return ""
+}

@@ -1,0 +1,22 @@
+// Package schemabad is the reject fixture: one registration per failure
+// class the analyzer must catch.
+package schemabad // want "references missing version constant VersionGone"
+
+// VersionDrift's registration records the right version but a digest from
+// an older field set.
+const VersionDrift = 1 // want "changed without a version bump"
+
+type driftFile struct {
+	SchemaVersion int    `json:"schema_version"`
+	Added         string `json:"added"`
+}
+
+// VersionStale was bumped in code without updating the registration.
+const VersionStale = 2 // want "registration records version 1"
+
+type staleFile struct {
+	SchemaVersion int `json:"schema_version"`
+}
+
+// VersionNoRoot's registration names a struct that no longer exists.
+const VersionNoRoot = 1 // want "names missing root struct goneFile"

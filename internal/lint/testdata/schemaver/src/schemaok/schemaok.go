@@ -1,0 +1,17 @@
+// Package schemaok is the accept fixture: the version constant and the
+// envelope's field-set digest both match the test registration.
+package schemaok
+
+// Version guards the envelope format.
+const Version = 3
+
+type envelope struct {
+	SchemaVersion int     `json:"schema_version"`
+	Items         []entry `json:"items"`
+	internal      int
+}
+
+type entry struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value,omitempty"`
+}

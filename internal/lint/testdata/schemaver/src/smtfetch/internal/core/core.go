@@ -1,0 +1,24 @@
+// Package core is a fixture snapshot package: its snap-mode stream digest
+// folds in the cross-package rng.Rand layout via rng's exported fact, and
+// excludes the transient scratch field.
+package core
+
+import "smtfetch/internal/rng"
+
+// SnapshotVersion guards the stream format; the registration digest
+// matches, so the fixture is clean.
+const SnapshotVersion = 1
+
+// Sim is the stream root (Snapshot/Restore roots).
+type Sim struct {
+	now  uint64
+	seed *rng.Rand
+	//smtfetch:transient per-cycle scratch, recomputed before first use
+	scratch []int
+}
+
+// Snapshot is the write root.
+func (s *Sim) Snapshot() { _ = s.now }
+
+// Restore is the read root.
+func (s *Sim) Restore() { s.now = 0 }

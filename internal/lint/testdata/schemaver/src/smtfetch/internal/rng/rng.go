@@ -1,0 +1,14 @@
+// Package rng is a fixture snapshot package: schemaver exports its
+// snapshot structs' snap digests as a package fact for dependents.
+package rng
+
+// Rand is auto-discovered snapshot state (State/SetState roots).
+type Rand struct {
+	s [4]uint64
+}
+
+// State is the snapshot-write root.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState is the restore-read root.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }

@@ -1,0 +1,60 @@
+// Package core is a fixture stand-in for the real core package: its
+// import path puts it in the snapshot set, so statecov audits every
+// struct with both an encode- and a decode-path method.
+package core
+
+// Machine is snapshot state: it has both a write- and a read-path method.
+type Machine struct {
+	good      int
+	writeOnly int // want "written by the snapshot path but never restored"
+	readOnly  int // want "restored but never written by the snapshot path"
+	missing   int // want "neither the snapshot-write nor the restore-read path"
+	//smtfetch:transient per-cycle scratch, recomputed before first use
+	scratch []int
+}
+
+// Snapshot covers good through a helper on the write closure.
+func (m *Machine) Snapshot() {
+	m.encodeCore()
+	_ = m.writeOnly
+}
+
+// Restore covers good directly on the read path.
+func (m *Machine) Restore() {
+	m.good = 0
+	_ = m.readOnly
+}
+
+func (m *Machine) encodeCore() { _ = m.good }
+
+// threadState has no codec methods of its own; the extras table makes it
+// snapshot state because the real core serializes it inline.
+type threadState struct {
+	icount int
+	stale  int // want "neither the snapshot-write nor the restore-read path"
+}
+
+func encodeThreads(ts []threadState) {
+	for i := range ts {
+		_ = ts[i].icount
+	}
+}
+
+func decodeThreads(ts []threadState) {
+	for i := range ts {
+		ts[i].icount = 0
+	}
+}
+
+// scratchPad has no snapshot methods at all, so statecov ignores it even
+// though nothing serializes its field.
+type scratchPad struct {
+	buf []int
+}
+
+// use keeps the fixture free of genuinely dead code paths.
+func use(p *scratchPad, ts []threadState) {
+	encodeThreads(ts)
+	decodeThreads(ts)
+	_ = p.buf
+}

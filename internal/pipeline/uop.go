@@ -19,9 +19,9 @@ type UOp struct {
 	// non-nil, Req names the pooled fetch request that owns the record and
 	// on which this uop holds one reference (taken at fetch, dropped when
 	// the uop commits or is squashed). Req is nil exactly when Info is.
-	Info *ftq.BranchInfo
+	Info *ftq.BranchInfo //smtfetch:transient re-linked by (request, branch-slot) table index on restore
 	// Req is the pooled fetch request Info points into; see Info.
-	Req *ftq.Request
+	Req *ftq.Request //smtfetch:transient re-linked by request-table index on restore
 	// Thread is the hardware context id.
 	Thread int
 	// Ghost marks wrong-path micro-ops; they consume resources but are
@@ -71,7 +71,7 @@ type UOp struct {
 	// the STALL and FLUSH policies gate their thread's fetch on it.
 	LongMiss bool
 	// Squashed marks uops removed by misprediction recovery.
-	Squashed bool
+	Squashed bool //smtfetch:transient squashed uops are canonicalized out of the stream
 	// Flushed marks uops removed from the pipeline by the FLUSH policy;
 	// unlike squashed uops they stay alive in their thread's replay queue
 	// (keeping their fetch-request reference) and re-enter the fetch

@@ -15,7 +15,7 @@ import (
 // Redirect(pc) repositions the stream (used on wrong paths, where the
 // front-end steers the walk along the predicted path).
 type Stream struct {
-	prog *Program
+	prog *Program //smtfetch:transient static program; decode re-resolves the block pointer through it
 	r    *rng.Rand
 
 	blk *Block

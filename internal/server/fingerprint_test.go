@@ -1,0 +1,75 @@
+package server
+
+import (
+	"testing"
+
+	"smtfetch/internal/config"
+	"smtfetch/internal/experiment"
+)
+
+// The two cache keys canonicalize the same axes the same way: both strip
+// the policy heuristic (the cell key resp. the canonical ICOUNT warm-up
+// carries it), and both are moved by any genuinely semantic machine knob.
+// If a new axis is canonicalized in one key but not the other, fork and
+// rerun sweeps could agree while the result and snapshot cache tiers
+// disagree about which cells are interchangeable.
+func TestFingerprintAndWarmKeyCanonicalizeAlike(t *testing.T) {
+	base := func() *experiment.Sweep {
+		return &experiment.Sweep{WarmupInstrs: 10_000, WarmupCycles: 500}
+	}
+	cell := experiment.Cell{Workload: "2_MIX", Engine: config.GShareBTB, Policy: config.ICount28, Seed: 1}
+
+	// Policy heuristic: canonicalized out of both keys. Fingerprint zeroes
+	// Machine.FetchPolicy (the cell key carries the policy); WarmKey
+	// replaces it with the canonical ICOUNT policy of the same shape.
+	icount := base()
+	flush := base()
+	mc := config.Default()
+	mc.FetchPolicy = config.ICount28
+	icount.Machine = &mc
+	mf := config.Default()
+	mf.FetchPolicy = config.FetchPolicy{Policy: config.Flush, Threads: 2, Width: 8}
+	flush.Machine = &mf
+	if Fingerprint(icount) != Fingerprint(flush) {
+		t.Error("Fingerprint split by the machine's policy heuristic; the cell key owns that axis")
+	}
+	if icount.WarmKey(cell) != flush.WarmKey(cell) {
+		t.Error("WarmKey split by the machine's policy heuristic; canonicalization drifted from Fingerprint's")
+	}
+
+	// Engine: canonicalized out of Fingerprint (cell key carries it), but
+	// a warm checkpoint's predictor state depends on it, so WarmKey keeps
+	// it — via the cell, not the machine. The machine's engine field must
+	// move neither key.
+	ga := base()
+	gb := base()
+	ma := config.Default()
+	ma.Engine = config.GShareBTB
+	ga.Machine = &ma
+	mb := config.Default()
+	mb.Engine = config.StreamFetch
+	gb.Machine = &mb
+	if Fingerprint(ga) != Fingerprint(gb) {
+		t.Error("Fingerprint split by the machine's engine field; the cell key owns that axis")
+	}
+	if ga.WarmKey(cell) != gb.WarmKey(cell) {
+		t.Error("WarmKey split by the machine's engine field; the cell carries the engine")
+	}
+	other := cell
+	other.Engine = config.StreamFetch
+	if ga.WarmKey(cell) == ga.WarmKey(other) {
+		t.Error("WarmKey ignores the cell's engine; warmed predictor state depends on it")
+	}
+
+	// A semantic machine knob must move both keys.
+	big := base()
+	mbig := config.Default()
+	mbig.ROBSize = mbig.ROBSize * 2
+	big.Machine = &mbig
+	if Fingerprint(base()) == Fingerprint(big) {
+		t.Error("Fingerprint ignores a semantic machine knob (ROBSize)")
+	}
+	if base().WarmKey(cell) == big.WarmKey(cell) {
+		t.Error("WarmKey ignores a semantic machine knob (ROBSize)")
+	}
+}
